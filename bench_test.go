@@ -1,0 +1,199 @@
+// Package dkip's root benchmark harness regenerates every table and figure
+// of the paper's evaluation as a testing.B benchmark, one per artifact (see
+// DESIGN.md's per-experiment index). Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark executes the corresponding experiment at a reduced scale
+// (use cmd/experiments for full-scale runs), reports headline numbers as
+// custom metrics, and logs the full table once.
+package dkip
+
+import (
+	"strconv"
+	"sync"
+	"testing"
+
+	"dkip/internal/experiments"
+)
+
+// benchScale keeps every -bench=. sweep to seconds per experiment.
+func benchScale() experiments.Scale {
+	return experiments.Scale{Warmup: 5_000, Measure: 20_000}
+}
+
+// logOnce arranges for each experiment's table to be logged a single time
+// even though testing.B reruns the body.
+var logOnce sync.Map
+
+// runExperiment executes one registered experiment per benchmark iteration
+// and reports cells of its last row as metrics.
+func runExperiment(b *testing.B, id string, metrics func(t *experiments.Table, b *testing.B)) {
+	b.Helper()
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		t, err = experiments.Run(id, benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, dup := logOnce.LoadOrStore(id, true); !dup {
+		b.Logf("\n%s", t.String())
+	}
+	if metrics != nil {
+		metrics(t, b)
+	}
+}
+
+// cell parses a table cell as a float metric.
+func cell(t *experiments.Table, row, col int) float64 {
+	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// BenchmarkTable1Configs validates and prints the limit-study memory
+// configurations (paper Table 1).
+func BenchmarkTable1Configs(b *testing.B) {
+	runExperiment(b, "table1", nil)
+}
+
+// BenchmarkTable2Defaults validates the invariant architecture parameters
+// (paper Table 2) and the variable-parameter defaults (paper Table 3).
+func BenchmarkTable2Defaults(b *testing.B) {
+	runExperiment(b, "table2", nil)
+	runExperiment(b, "table3", nil)
+}
+
+// BenchmarkFigure1WindowSweepInt regenerates Figure 1: SpecINT IPC vs window
+// size under the six memory subsystems.
+func BenchmarkFigure1WindowSweepInt(b *testing.B) {
+	runExperiment(b, "fig1", func(t *experiments.Table, b *testing.B) {
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, len(t.Columns)-2), "IPC-MEM400-4K")
+		b.ReportMetric(cell(t, 0, len(t.Columns)-2), "IPC-MEM400-32")
+	})
+}
+
+// BenchmarkFigure2WindowSweepFP regenerates Figure 2: SpecFP IPC vs window
+// size; the paper's point is near-total recovery at 4K entries.
+func BenchmarkFigure2WindowSweepFP(b *testing.B) {
+	runExperiment(b, "fig2", func(t *experiments.Table, b *testing.B) {
+		last := len(t.Rows) - 1
+		b.ReportMetric(cell(t, last, 1), "IPC-L1-4K")
+		b.ReportMetric(cell(t, last, len(t.Columns)-2), "IPC-MEM400-4K")
+	})
+}
+
+// BenchmarkFigure3IssueHistogram regenerates the decode→issue distance
+// histogram that defines execution locality.
+func BenchmarkFigure3IssueHistogram(b *testing.B) {
+	runExperiment(b, "fig3", nil)
+}
+
+// BenchmarkFigure9Comparison regenerates the headline architecture
+// comparison: R10-64, R10-256, KILO-1024, D-KIP-2048 on both suites.
+func BenchmarkFigure9Comparison(b *testing.B) {
+	runExperiment(b, "fig9", func(t *experiments.Table, b *testing.B) {
+		b.ReportMetric(cell(t, 3, 2), "DKIP-FP-IPC")
+		b.ReportMetric(cell(t, 3, 2)/cell(t, 0, 2), "DKIP-vs-R1064-FP")
+	})
+}
+
+// BenchmarkFigure10SchedulerSweep regenerates the CP/MP scheduling-policy
+// grid of Figure 10 (and the §4.3 percentages in its notes).
+func BenchmarkFigure10SchedulerSweep(b *testing.B) {
+	runExperiment(b, "fig10", func(t *experiments.Table, b *testing.B) {
+		b.ReportMetric(cell(t, len(t.Rows)-1, len(t.Columns)-1), "IPC-OOO80-OOO40")
+	})
+}
+
+// BenchmarkFigure11CacheSweepInt regenerates the SpecINT L2 sweep.
+func BenchmarkFigure11CacheSweepInt(b *testing.B) {
+	runExperiment(b, "fig11", nil)
+}
+
+// BenchmarkFigure12CacheSweepFP regenerates the SpecFP L2 sweep; the paper's
+// claim is D-KIP cache-size tolerance.
+func BenchmarkFigure12CacheSweepFP(b *testing.B) {
+	runExperiment(b, "fig12", nil)
+}
+
+// BenchmarkFigure13LLIBOccupancyInt regenerates the integer-LLIB occupancy
+// maxima (instructions and registers) per SpecINT benchmark.
+func BenchmarkFigure13LLIBOccupancyInt(b *testing.B) {
+	runExperiment(b, "fig13", nil)
+}
+
+// BenchmarkFigure14LLIBOccupancyFP regenerates the FP-LLIB occupancy maxima
+// per SpecFP benchmark.
+func BenchmarkFigure14LLIBOccupancyFP(b *testing.B) {
+	runExperiment(b, "fig14", nil)
+}
+
+// BenchmarkSection43Scheduler regenerates the §4.3 text numbers.
+func BenchmarkSection43Scheduler(b *testing.B) {
+	runExperiment(b, "sec43", nil)
+}
+
+// BenchmarkSection44CPShare regenerates the §4.4 Cache-Processor share
+// numbers.
+func BenchmarkSection44CPShare(b *testing.B) {
+	runExperiment(b, "sec44", nil)
+}
+
+// ---- ablation benches for the design choices DESIGN.md calls out ----
+
+// BenchmarkAblationAnalyzeStall quantifies the Analyze writeback-wait stall
+// (§3.2: ~0.7% IPC).
+func BenchmarkAblationAnalyzeStall(b *testing.B) {
+	runExperiment(b, "ablation-analyze", nil)
+}
+
+// BenchmarkAblationAgingTimer sweeps the Aging-ROB timer.
+func BenchmarkAblationAgingTimer(b *testing.B) {
+	runExperiment(b, "ablation-aging", nil)
+}
+
+// BenchmarkAblationLLIBSize sweeps LLIB capacity.
+func BenchmarkAblationLLIBSize(b *testing.B) {
+	runExperiment(b, "ablation-llib", nil)
+}
+
+// BenchmarkAblationLLRFBanks compares the banked LLRF against ideal storage.
+func BenchmarkAblationLLRFBanks(b *testing.B) {
+	runExperiment(b, "ablation-llrf", nil)
+}
+
+// BenchmarkAblationSingleLLIB compares the paper's dual LLIB/MP organization
+// against a merged single pair.
+func BenchmarkAblationSingleLLIB(b *testing.B) {
+	runExperiment(b, "ablation-singlellib", nil)
+}
+
+// BenchmarkAblationRunahead compares runahead execution — the related-work
+// alternative the paper cites [23,24] — against the D-KIP.
+func BenchmarkAblationRunahead(b *testing.B) {
+	runExperiment(b, "ablation-runahead", nil)
+}
+
+// BenchmarkAblationCheckpoint compares checkpoint-placement policies under a
+// replay-distance recovery model.
+func BenchmarkAblationCheckpoint(b *testing.B) {
+	runExperiment(b, "ablation-checkpoint", nil)
+}
+
+// BenchmarkAblationMSHR sweeps miss-status registers: how much memory-level
+// parallelism the kilo-instruction window actually demands.
+func BenchmarkAblationMSHR(b *testing.B) {
+	runExperiment(b, "ablation-mshr", nil)
+}
+
+// BenchmarkAblationPrefetch pits next-line hardware prefetching against the
+// decoupled window on both the small baseline and the D-KIP.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	runExperiment(b, "ablation-prefetch", nil)
+}

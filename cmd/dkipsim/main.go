@@ -1,0 +1,146 @@
+// Command dkipsim runs one processor configuration on one workload and
+// prints detailed statistics.
+//
+// Usage:
+//
+//	dkipsim -arch dkip -bench swim -n 200000
+//	dkipsim -arch r10-64 -bench mcf
+//	dkipsim -arch kilo -bench applu -l2 2097152
+//	dkipsim -arch limit -window 4096 -bench art
+//	dkipsim -arch dkip -cp ino -mp ooo -mpq 40 -bench equake
+//	dkipsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dkip/internal/core"
+	"dkip/internal/kilo"
+	"dkip/internal/mem"
+	"dkip/internal/ooo"
+	"dkip/internal/pipeline"
+	"dkip/internal/trace"
+	"dkip/internal/workload"
+)
+
+func main() {
+	var (
+		arch      = flag.String("arch", "dkip", "architecture: dkip, r10-64, r10-256, r10-768, kilo, limit")
+		bench     = flag.String("bench", "swim", "benchmark name (see -list)")
+		n         = flag.Uint64("n", 200_000, "instructions to measure")
+		warmup    = flag.Uint64("warmup", 20_000, "instructions to warm up (not measured)")
+		l2        = flag.Int("l2", 512<<10, "L2 cache size in bytes")
+		memLat    = flag.Int("memlat", 400, "main memory latency in cycles")
+		window    = flag.Int("window", 2048, "ROB size for -arch limit")
+		cpPol     = flag.String("cp", "ooo", "D-KIP Cache Processor scheduler: ooo or ino")
+		mpPol     = flag.String("mp", "ino", "D-KIP Memory Processor scheduler: ooo or ino")
+		cpq       = flag.Int("cpq", 40, "D-KIP CP issue-queue size")
+		mpq       = flag.Int("mpq", 20, "D-KIP MP queue size")
+		llib      = flag.Int("llib", 2048, "D-KIP LLIB entries (each)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		verbose   = flag.Bool("v", false, "print extended statistics")
+		traceFile = flag.String("trace", "", "drive the simulation from a binary trace file instead of -bench")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks (SpecINT then SpecFP):")
+		for _, name := range workload.Names() {
+			p, _ := workload.Lookup(name)
+			fmt.Printf("  %-10s %s\n", name, p.Suite)
+		}
+		return
+	}
+
+	var g trace.Generator
+	var warmRanges [][2]uint64
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		wg, err := workload.New(*bench)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g = wg
+		warmRanges = wg.WarmRanges()
+	}
+
+	mc := mem.DefaultConfig()
+	mc.L2Size = *l2
+	mc.MemLatency = *memLat
+
+	var st *pipeline.Stats
+	var name string
+	runOOO := func(cfg ooo.Config) {
+		cfg.Mem = mc
+		p := ooo.New(cfg)
+		if warmRanges != nil {
+			p.Hierarchy().Warm(warmRanges)
+		}
+		st = p.Run(g, *warmup, *n)
+		name = cfg.Name
+	}
+	switch strings.ToLower(*arch) {
+	case "r10-64":
+		runOOO(ooo.R10K64())
+	case "r10-256":
+		runOOO(ooo.R10K256())
+	case "r10-768":
+		runOOO(ooo.R10K768())
+	case "kilo":
+		runOOO(kilo.Config1024())
+	case "limit":
+		runOOO(ooo.LimitCore(*window, mc))
+	case "dkip":
+		cfg := core.Config{
+			CPInOrder: *cpPol == "ino",
+			MPInOrder: core.Bool(*mpPol == "ino"),
+			CPIQSize:  *cpq,
+			MPIQSize:  *mpq,
+			LLIBSize:  *llib,
+			Mem:       mc,
+		}
+		p := core.New(cfg)
+		if warmRanges != nil {
+			p.Hierarchy().Warm(warmRanges)
+		}
+		st = p.Run(g, *warmup, *n)
+		name = p.Config().Name
+	default:
+		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s on %s: %s\n", name, g.Name(), st)
+	if *verbose {
+		printVerbose(st)
+	}
+}
+
+func printVerbose(st *pipeline.Stats) {
+	fmt.Printf("  loads by level: L1=%d L2=%d MEM=%d\n", st.LoadLevel[0], st.LoadLevel[1], st.LoadLevel[2])
+	fmt.Printf("  stalls: ROB=%d IQ=%d LSQ=%d\n", st.StallROBFull, st.StallIQFull, st.StallLSQFull)
+	if st.CPCommitted+st.MPCommitted > 0 {
+		fmt.Printf("  D-KIP: CP share=%.1f%% LLIB max instrs=%v max regs=%v\n",
+			100*st.CPFraction(), st.MaxLLIBInstrs, st.MaxLLIBRegs)
+		fmt.Printf("  D-KIP: analyze-wait stalls=%d LLIB-full stalls=%d checkpoints=%d recoveries=%d bank conflicts=%d\n",
+			st.AnalyzeWaitStalls, st.LLIBFullStalls, st.Checkpoints, st.Recoveries, st.LLRFBankConflicts)
+	}
+	fmt.Printf("  decode->issue: mean=%.0f cycles, <100: %.1f%%, 300-500: %.1f%%, 700-900: %.1f%%\n",
+		st.IssueLat.Mean(), 100*st.IssueLat.FracRange(0, 100),
+		100*st.IssueLat.FracRange(300, 500), 100*st.IssueLat.FracRange(700, 900))
+}

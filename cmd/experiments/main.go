@@ -1,0 +1,76 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig9
+//	experiments -run all -quick
+//	experiments -run fig3 -csv
+//
+// Each experiment simulates every benchmark of the relevant suite(s) on the
+// relevant architecture configurations and prints the same rows or series the
+// paper reports, plus notes comparing against the paper's published numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dkip/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "", "experiment id to run, or \"all\"")
+		list    = flag.Bool("list", false, "list experiment ids")
+		quick   = flag.Bool("quick", false, "reduced instruction counts (seconds instead of minutes)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure = flag.Uint64("measure", 0, "override measured instructions per run")
+	)
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			title, _ := experiments.Title(id)
+			fmt.Printf("  %-20s %s\n", id, title)
+		}
+		if *run == "" && !*list {
+			fmt.Println("\nuse -run <id> or -run all")
+		}
+		return
+	}
+
+	scale := experiments.FullScale()
+	if *quick {
+		scale = experiments.QuickScale()
+	}
+	if *warmup > 0 {
+		scale.Warmup = *warmup
+	}
+	if *measure > 0 {
+		scale.Measure = *measure
+	}
+
+	ids := []string{*run}
+	if *run == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		t, err := experiments.Run(id, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Print(t.String())
+			fmt.Printf("(%s, %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command workloads characterizes the synthetic SPEC2000 stand-ins: the
+// instruction mix, branch behaviour, and cache behaviour each generator
+// actually produces, measured rather than configured. Use it to audit the
+// substitution documented in DESIGN.md.
+//
+//	workloads                  # characterize every benchmark
+//	workloads -bench mcf       # one benchmark
+//	workloads -n 500000        # more instructions per benchmark
+//	workloads -dump out.trace -bench swim -n 100000   # capture a binary trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dkip/internal/isa"
+	"dkip/internal/mem"
+	"dkip/internal/predictor"
+	"dkip/internal/trace"
+	"dkip/internal/workload"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "", "benchmark to characterize (default: all)")
+		n     = flag.Int("n", 200_000, "instructions to sample")
+		dump  = flag.String("dump", "", "write the sampled stream to a binary trace file")
+	)
+	flag.Parse()
+
+	names := workload.Names()
+	if *bench != "" {
+		names = []string{*bench}
+	}
+
+	if *dump != "" {
+		if len(names) != 1 {
+			fmt.Fprintln(os.Stderr, "-dump requires -bench")
+			os.Exit(1)
+		}
+		g, err := workload.New(names[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trace.Write(f, g, uint64(*n)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d instructions of %s to %s\n", *n, names[0], *dump)
+		return
+	}
+
+	fmt.Printf("%-9s %-7s %6s %6s %6s %6s  %9s %8s %9s %9s\n",
+		"bench", "suite", "load%", "store%", "br%", "chase%", "footprint", "mispred%", "L2miss/ki", "mem/ki")
+	for _, name := range names {
+		g, err := workload.New(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		characterize(g, *n)
+	}
+}
+
+// characterize measures one benchmark: mix from the raw stream, prediction
+// accuracy from the paper's perceptron, and miss traffic from the default
+// hierarchy after prewarming.
+func characterize(g *workload.Benchmark, n int) {
+	p := g.Profile()
+	hier := mem.NewHierarchy(mem.DefaultConfig())
+	hier.Warm(g.WarmRanges())
+	bp := predictor.NewStats(predictor.NewPerceptron(4096, 24))
+
+	var mix trace.Mix
+	for i := 0; i < n; i++ {
+		in := g.Next()
+		mix.Observe(in)
+		switch in.Op {
+		case isa.Load:
+			hier.Access(in.Addr)
+		case isa.Store:
+			hier.Access(in.Addr)
+		case isa.Branch:
+			bp.Predict(in.PC)
+			bp.Update(in.PC, in.Taken)
+		}
+	}
+
+	l2miss := float64(hier.Count[mem.LevelMemory]) / float64(n) * 1000
+	var l2access float64
+	if l2 := hier.L2(); l2 != nil {
+		l2access = float64(l2.Misses) / float64(n) * 1000
+	}
+	chase := 0.0
+	if mix.Count[isa.Load] > 0 {
+		chase = 100 * float64(mix.ChainLoads) / float64(mix.Count[isa.Load])
+	}
+	fmt.Printf("%-9s %-7s %6.1f %6.1f %6.1f %6.1f  %8.1fM %8.2f %9.2f %9.2f\n",
+		g.Name(), p.Suite,
+		100*mix.Frac(isa.Load), 100*mix.Frac(isa.Store), 100*mix.Frac(isa.Branch),
+		chase,
+		float64(p.FootprintBytes)/(1<<20),
+		100*(1-bp.Accuracy()),
+		l2access, l2miss)
+}

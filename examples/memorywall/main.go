@@ -1,0 +1,53 @@
+// Memorywall: reproduce the paper's motivating limit study (Figures 1 and 2)
+// on a pair of benchmarks — how much IPC a conventional out-of-order core
+// recovers as its instruction window grows, under increasingly distant
+// memory. Floating-point code recovers almost everything with a kilo-entry
+// window; pointer-chasing integer code does not.
+//
+//	go run ./examples/memorywall
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"dkip/internal/mem"
+	"dkip/internal/ooo"
+	"dkip/internal/workload"
+)
+
+func main() {
+	windows := []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
+	configs := []mem.Config{
+		mem.Table1Configs()[0], // L1-2: perfect L1
+		mem.Table1Configs()[4], // MEM-400
+	}
+
+	for _, bench := range []string{"applu", "mcf"} {
+		p, _ := workload.Lookup(bench)
+		fmt.Printf("%s (%s)\n", bench, p.Suite)
+		for _, mc := range configs {
+			fmt.Printf("  %-8s ", mc.Name)
+			var peak float64
+			ipcs := make([]float64, len(windows))
+			for i, w := range windows {
+				g := workload.MustNew(bench)
+				proc := ooo.New(ooo.LimitCore(w, mc))
+				proc.Hierarchy().Warm(g.WarmRanges())
+				st := proc.Run(g, 10_000, 60_000)
+				ipcs[i] = st.IPC()
+				if st.IPC() > peak {
+					peak = st.IPC()
+				}
+			}
+			for i, w := range windows {
+				bar := strings.Repeat("#", int(ipcs[i]/4*20+0.5))
+				fmt.Printf("\n    window %-5d %.3f %s", w, ipcs[i], bar)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	fmt.Println("note how MEM-400 converges toward the perfect-L1 curve for the FP code")
+	fmt.Println("but stays depressed for mcf, whose pointer chains serialize the misses.")
+}

@@ -1,0 +1,48 @@
+// Runahead: compare the paper's related-work alternative (runahead
+// execution, Mutlu et al.) against the D-KIP on two workloads with opposite
+// characters. Runahead prefetches the independent misses it finds under a
+// blocking miss but throws the work away; the D-KIP executes the same slices
+// for real. On pointer-chasing code neither trick fully works — but runahead
+// cannot even prefetch (the addresses depend on the missing data), which is
+// exactly the argument for real kilo-instruction windows.
+//
+//	go run ./examples/runahead
+package main
+
+import (
+	"fmt"
+
+	"dkip/internal/core"
+	"dkip/internal/ooo"
+	"dkip/internal/workload"
+)
+
+func main() {
+	const warmup, measure = 15_000, 80_000
+
+	for _, bench := range []string{"applu", "mcf"} {
+		prof, _ := workload.Lookup(bench)
+		fmt.Printf("%s (%s)\n", bench, prof.Suite)
+
+		base := ooo.R10K64()
+		fmt.Printf("  %-22s IPC %.3f\n", "R10-64", runOOO(base, bench, warmup, measure))
+
+		ra := ooo.R10K64()
+		ra.RunaheadDepth = 256
+		fmt.Printf("  %-22s IPC %.3f\n", "R10-64 + runahead", runOOO(ra, bench, warmup, measure))
+
+		g := workload.MustNew(bench)
+		p := core.New(core.Config{})
+		p.Hierarchy().Warm(g.WarmRanges())
+		fmt.Printf("  %-22s IPC %.3f\n\n", "D-KIP-2048", p.Run(g, warmup, measure).IPC())
+	}
+	fmt.Println("runahead recovers part of the gap on streaming code (prefetching),")
+	fmt.Println("almost none on pointer chains; the D-KIP executes the slices for real.")
+}
+
+func runOOO(cfg ooo.Config, bench string, warmup, measure uint64) float64 {
+	g := workload.MustNew(bench)
+	p := ooo.New(cfg)
+	p.Hierarchy().Warm(g.WarmRanges())
+	return p.Run(g, warmup, measure).IPC()
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"dkip/internal/isa"
+	"dkip/internal/pipeline"
+)
+
+// LLRF is the Low Locality Register File: banked storage for the single
+// READY operand an instruction carries into the LLIB. Insertion and
+// extraction each touch a disjoint group of banks per cycle; a read landing
+// in a bank that is being written stalls one cycle (§3.2). Each bank has an
+// independent free list, modeled here as a per-bank occupancy count.
+type LLRF struct {
+	banks    int
+	bankSize int
+	ideal    bool
+
+	used     []int // registers allocated per bank
+	nextBank int   // round-robin allocation pointer
+
+	// Per-cycle port tracking for conflict modeling.
+	cycle        int64
+	writtenBanks uint32 // bitmask of banks written this cycle
+
+	// Occupancy accounting.
+	Allocated int // registers currently allocated
+	MaxUsed   int // high-water mark
+	Conflicts int64
+}
+
+// NewLLRF builds the register file. ideal disables capacity and conflicts.
+func NewLLRF(banks, bankSize int, ideal bool) *LLRF {
+	return &LLRF{banks: banks, bankSize: bankSize, ideal: ideal, used: make([]int, banks)}
+}
+
+// NewCycle resets per-cycle port state.
+func (r *LLRF) NewCycle(cycle int64) {
+	r.cycle = cycle
+	r.writtenBanks = 0
+}
+
+// Alloc reserves one register for a READY operand, returning the bank used,
+// or -1 when every bank's free list is empty (the caller must stall Analyze).
+func (r *LLRF) Alloc() int {
+	if r.ideal {
+		r.Allocated++
+		if r.Allocated > r.MaxUsed {
+			r.MaxUsed = r.Allocated
+		}
+		return 0
+	}
+	for i := 0; i < r.banks; i++ {
+		b := (r.nextBank + i) % r.banks
+		if r.used[b] < r.bankSize {
+			r.used[b]++
+			r.nextBank = (b + 1) % r.banks
+			r.Allocated++
+			if r.Allocated > r.MaxUsed {
+				r.MaxUsed = r.Allocated
+			}
+			r.writtenBanks |= 1 << uint(b)
+			return b
+		}
+	}
+	return -1
+}
+
+// Read frees the register in the given bank as its value moves to the Memory
+// Processor. It reports whether the read conflicted with a write to the same
+// bank this cycle, which costs the extraction one cycle.
+func (r *LLRF) Read(bank int) (conflict bool) {
+	if r.Allocated <= 0 {
+		panic("core: LLRF read with no allocated registers")
+	}
+	r.Allocated--
+	if r.ideal {
+		return false
+	}
+	if r.used[bank] <= 0 {
+		panic("core: LLRF bank underflow")
+	}
+	r.used[bank]--
+	if r.writtenBanks&(1<<uint(bank)) != 0 {
+		r.Conflicts++
+		return true
+	}
+	return false
+}
+
+// Full reports whether no bank can accept another register.
+func (r *LLRF) Full() bool {
+	if r.ideal {
+		return false
+	}
+	for _, u := range r.used {
+		if u < r.bankSize {
+			return false
+		}
+	}
+	return true
+}
+
+// LLIB is one Low Locality Instruction Buffer: a strict FIFO of low-locality
+// instructions, with no issue capability of its own. The head drains into
+// the paired Memory Processor once the long-latency load it depends on has
+// delivered its value to the Address Processor's FIFO.
+type LLIB struct {
+	fifo []uint64
+	cap  int
+	win  *pipeline.Window
+
+	// Occupancy accounting (Figures 13/14).
+	MaxInstrs int
+}
+
+// NewLLIB builds a buffer with the given capacity.
+func NewLLIB(capacity int, win *pipeline.Window) *LLIB {
+	return &LLIB{cap: capacity, win: win}
+}
+
+// Len returns the current occupancy.
+func (l *LLIB) Len() int { return len(l.fifo) }
+
+// Full reports whether insertion must stall.
+func (l *LLIB) Full() bool { return len(l.fifo) >= l.cap }
+
+// Push appends an instruction (already stamped QLLIB by the caller).
+func (l *LLIB) Push(seq uint64) {
+	if l.Full() {
+		panic("core: push into full LLIB")
+	}
+	l.fifo = append(l.fifo, seq)
+	if len(l.fifo) > l.MaxInstrs {
+		l.MaxInstrs = len(l.fifo)
+	}
+}
+
+// Head returns the oldest resident instruction.
+func (l *LLIB) Head() (uint64, bool) {
+	if len(l.fifo) == 0 {
+		return 0, false
+	}
+	return l.fifo[0], true
+}
+
+// Pop removes the head.
+func (l *LLIB) Pop() {
+	l.fifo = l.fifo[1:]
+}
+
+// HeadExtractable implements the paper's wakeup rule: the head may move to
+// the Memory Processor unless it depends on a long-latency load whose value
+// has not yet arrived in the Address Processor's FIFO. Dependences on other
+// low-locality instructions need no check — the MP's Future File (reservation
+// stations) will capture those values.
+func (l *LLIB) HeadExtractable() bool {
+	seq, ok := l.Head()
+	if !ok {
+		return false
+	}
+	e := l.win.Get(seq)
+	for _, prod := range [2]uint64{e.Prod1, e.Prod2} {
+		if prod == pipeline.NoProducer {
+			continue
+		}
+		pe := l.win.Get(prod)
+		if pe.Seq != prod || pe.Done {
+			continue // producer already delivered its value
+		}
+		if pe.In.Op == isa.Load {
+			return false // value not yet in the load-value FIFO
+		}
+	}
+	return true
+}

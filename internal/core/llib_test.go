@@ -1,0 +1,231 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dkip/internal/isa"
+	"dkip/internal/pipeline"
+)
+
+func TestLLRFAllocFreeBalance(t *testing.T) {
+	r := NewLLRF(8, 4, false) // 32 registers
+	banks := make([]int, 0, 32)
+	for i := 0; i < 32; i++ {
+		b := r.Alloc()
+		if b < 0 {
+			t.Fatalf("alloc %d failed with capacity left", i)
+		}
+		banks = append(banks, b)
+	}
+	if !r.Full() {
+		t.Error("LLRF should be full after 32 allocations")
+	}
+	if r.Alloc() != -1 {
+		t.Error("alloc on full LLRF should fail")
+	}
+	if r.MaxUsed != 32 || r.Allocated != 32 {
+		t.Errorf("occupancy tracking wrong: %d/%d", r.Allocated, r.MaxUsed)
+	}
+	for _, b := range banks {
+		r.Read(b)
+	}
+	if r.Allocated != 0 {
+		t.Errorf("allocated %d after freeing everything", r.Allocated)
+	}
+	if r.Full() {
+		t.Error("empty LLRF reported full")
+	}
+}
+
+func TestLLRFRoundRobinSpreadsBanks(t *testing.T) {
+	r := NewLLRF(8, 256, false)
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		seen[r.Alloc()] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("8 allocations used only %d banks; free lists must be independent", len(seen))
+	}
+}
+
+func TestLLRFBankConflict(t *testing.T) {
+	r := NewLLRF(8, 256, false)
+	r.NewCycle(1)
+	b := r.Alloc() // writes bank b this cycle
+	if conflict := r.Read(b); !conflict {
+		t.Error("read of a bank written this cycle must conflict")
+	}
+	if r.Conflicts != 1 {
+		t.Errorf("conflicts = %d", r.Conflicts)
+	}
+	// A read in a later cycle does not conflict.
+	b2 := r.Alloc()
+	r.NewCycle(2)
+	if conflict := r.Read(b2); conflict {
+		t.Error("read in a different cycle must not conflict")
+	}
+}
+
+func TestLLRFIdealNeverFullNeverConflicts(t *testing.T) {
+	r := NewLLRF(8, 4, true)
+	for i := 0; i < 1000; i++ {
+		if r.Alloc() < 0 {
+			t.Fatal("ideal LLRF must never fill")
+		}
+	}
+	if r.Full() {
+		t.Error("ideal LLRF reported full")
+	}
+	r.NewCycle(1)
+	if r.Read(0) {
+		t.Error("ideal LLRF must not conflict")
+	}
+}
+
+func TestLLRFUnderflowPanics(t *testing.T) {
+	r := NewLLRF(2, 2, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("read with nothing allocated should panic")
+		}
+	}()
+	r.Read(0)
+}
+
+// TestLLRFOccupancyInvariant: under any interleaving of allocations and
+// frees, occupancy equals allocations minus frees and never exceeds capacity.
+func TestLLRFOccupancyInvariant(t *testing.T) {
+	err := quick.Check(func(ops []bool) bool {
+		r := NewLLRF(4, 8, false)
+		var live []int
+		allocs, frees := 0, 0
+		for _, alloc := range ops {
+			if alloc {
+				if b := r.Alloc(); b >= 0 {
+					live = append(live, b)
+					allocs++
+				}
+			} else if len(live) > 0 {
+				r.Read(live[len(live)-1])
+				live = live[:len(live)-1]
+				frees++
+			}
+		}
+		return r.Allocated == allocs-frees && r.Allocated <= 4*8
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func mkLLIBEntry(w *pipeline.Window, seq uint64, prod uint64) *pipeline.DynInst {
+	e := w.Alloc(seq, isa.Instr{Op: isa.IntALU, Dest: isa.IntReg(2), Src1: isa.IntReg(3)}, 1)
+	e.Prod1 = prod
+	return e
+}
+
+func TestLLIBFIFOOrder(t *testing.T) {
+	w := pipeline.NewWindow(128)
+	l := NewLLIB(16, w)
+	for seq := uint64(1); seq <= 5; seq++ {
+		mkLLIBEntry(w, seq, pipeline.NoProducer)
+		l.Push(seq)
+	}
+	if l.Len() != 5 || l.MaxInstrs != 5 {
+		t.Errorf("len=%d max=%d", l.Len(), l.MaxInstrs)
+	}
+	for want := uint64(1); want <= 5; want++ {
+		got, ok := l.Head()
+		if !ok || got != want {
+			t.Fatalf("head = %d, want %d", got, want)
+		}
+		l.Pop()
+	}
+	if _, ok := l.Head(); ok {
+		t.Error("empty LLIB has a head")
+	}
+}
+
+func TestLLIBCapacity(t *testing.T) {
+	w := pipeline.NewWindow(128)
+	l := NewLLIB(2, w)
+	mkLLIBEntry(w, 1, pipeline.NoProducer)
+	mkLLIBEntry(w, 2, pipeline.NoProducer)
+	l.Push(1)
+	l.Push(2)
+	if !l.Full() {
+		t.Error("LLIB should be full")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("push into full LLIB should panic")
+		}
+	}()
+	mkLLIBEntry(w, 3, pipeline.NoProducer)
+	l.Push(3)
+}
+
+func TestLLIBHeadExtractableRules(t *testing.T) {
+	w := pipeline.NewWindow(128)
+	l := NewLLIB(16, w)
+
+	// Producer is an outstanding load: head must wait for the value.
+	load := w.Alloc(1, isa.Instr{Op: isa.Load, Dest: isa.IntReg(5), Src1: isa.IntReg(0)}, 1)
+	consumer := mkLLIBEntry(w, 2, 1)
+	consumer.Pending = 1
+	l.Push(2)
+	if l.HeadExtractable() {
+		t.Error("head depending on an outstanding load must not extract")
+	}
+	load.Done = true
+	if !l.HeadExtractable() {
+		t.Error("head must extract once the load value is available")
+	}
+	l.Pop()
+
+	// Producer is a non-load low-locality instruction: no check needed —
+	// the MP's future file captures it.
+	alu := w.Alloc(3, isa.Instr{Op: isa.IntALU, Dest: isa.IntReg(6), Src1: isa.IntReg(5)}, 1)
+	alu.LowLocality = true
+	c2 := mkLLIBEntry(w, 4, 3)
+	c2.Pending = 1
+	l.Push(4)
+	if !l.HeadExtractable() {
+		t.Error("dependence on a non-load producer must not block extraction")
+	}
+
+	// Empty LLIB is never extractable.
+	l.Pop()
+	if l.HeadExtractable() {
+		t.Error("empty LLIB extractable")
+	}
+}
+
+// TestLLIBMaxTracksHighWater: occupancy accounting must follow pushes/pops.
+func TestLLIBMaxTracksHighWater(t *testing.T) {
+	err := quick.Check(func(ops []bool) bool {
+		w := pipeline.NewWindow(4096)
+		l := NewLLIB(64, w)
+		next := uint64(1)
+		max, cur := 0, 0
+		for _, push := range ops {
+			if push && !l.Full() {
+				mkLLIBEntry(w, next, pipeline.NoProducer)
+				l.Push(next)
+				next++
+				cur++
+				if cur > max {
+					max = cur
+				}
+			} else if !push && l.Len() > 0 {
+				l.Pop()
+				cur--
+			}
+		}
+		return l.Len() == cur && l.MaxInstrs == max
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

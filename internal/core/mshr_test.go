@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"dkip/internal/ooo"
+	"dkip/internal/workload"
+)
+
+// mshrIPC runs the default D-KIP on a streaming FP workload with the given
+// MSHR budget.
+func mshrIPC(t *testing.T, mshrs int) float64 {
+	t.Helper()
+	g := workload.MustNew("applu")
+	p := New(Config{MSHRs: mshrs})
+	p.Hierarchy().Warm(g.WarmRanges())
+	return p.Run(g, 5000, 20000).IPC()
+}
+
+func TestMSHRLimitsMLP(t *testing.T) {
+	one := mshrIPC(t, 1)
+	sixteen := mshrIPC(t, 16)
+	unlimited := mshrIPC(t, 0)
+	if one >= sixteen {
+		t.Errorf("one MSHR (%.3f) should be far slower than sixteen (%.3f)", one, sixteen)
+	}
+	if sixteen > unlimited*1.02 {
+		t.Errorf("limited MSHRs (%.3f) cannot beat unlimited (%.3f)", sixteen, unlimited)
+	}
+	// One MSHR degenerates toward a blocking miss path.
+	if one > 0.5*unlimited {
+		t.Errorf("one MSHR (%.3f) should lose most of the MLP (unlimited %.3f)", one, unlimited)
+	}
+}
+
+func TestMSHROnOOOEngine(t *testing.T) {
+	run := func(mshrs int) float64 {
+		g := workload.MustNew("applu")
+		cfg := ooo.LimitCore(2048, DefaultConfig().Mem)
+		cfg.MSHRs = mshrs
+		p := ooo.New(cfg)
+		p.Hierarchy().Warm(g.WarmRanges())
+		return p.Run(g, 5000, 20000).IPC()
+	}
+	if one, free := run(1), run(0); one >= 0.5*free {
+		t.Errorf("one MSHR (%.3f) should cripple the 2048-entry window (%.3f)", one, free)
+	}
+}
+
+func TestMSHRCompletes(t *testing.T) {
+	// Even a single MSHR must never deadlock.
+	g := workload.MustNew("mcf")
+	p := New(Config{MSHRs: 1})
+	p.Hierarchy().Warm(g.WarmRanges())
+	st := p.Run(g, 1000, 5000)
+	if st.Committed < 5000 {
+		t.Errorf("committed %d with one MSHR", st.Committed)
+	}
+}

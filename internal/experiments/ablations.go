@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dkip/internal/core"
+	"dkip/internal/mem"
+	"dkip/internal/ooo"
+	"dkip/internal/workload"
+)
+
+// AblationAnalyze compares the real Analyze stage — which stalls when the
+// instruction at the Aging-ROB head is short-latency but still in flight —
+// against an idealized stage that never stalls. §3.2 reports the stall costs
+// about 0.7% IPC on average.
+func AblationAnalyze(s Scale) *Table {
+	ideal := core.Config{Name: "ideal-analyze", IdealAnalyze: true}
+	var jobs []job
+	for _, b := range workload.Names() {
+		jobs = append(jobs, runDKIP("base/"+b, b, core.Config{}, s))
+		jobs = append(jobs, runDKIP("ideal/"+b, b, ideal, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"suite", "baseline IPC", "ideal-analyze IPC", "stall cost (%)"}}
+	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {
+		base := suiteMean(res, "base", suite)
+		id := suiteMean(res, "ideal", suite)
+		t.Rows = append(t.Rows, []string{suite.String(), f3(base), f3(id), f1(100 * (id/base - 1))})
+	}
+	t.Notes = append(t.Notes, "paper (§3.2): the Analyze writeback-wait stall costs ~0.7% IPC on average")
+	return t
+}
+
+// AblationAgingTimer sweeps the Aging-ROB timer. §3.2 requires the timer to
+// cover the L2 tag access (so a load's hit/miss status is known when it is
+// analyzed); a longer timer only delays classification and grows the ROB.
+func AblationAgingTimer(s Scale) *Table {
+	timers := []int{8, 16, 32, 64}
+	var jobs []job
+	for _, timer := range timers {
+		cfg := core.Config{Name: fmt.Sprintf("t%d", timer), ROBTimer: timer}
+		for _, b := range workload.SuiteNames(workload.SpecFP) {
+			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
+		}
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"ROB timer (cycles)", "ROB entries", "SpecFP IPC"}}
+	for _, timer := range timers {
+		v := suiteMean(res, fmt.Sprintf("t%d", timer), workload.SpecFP)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", timer), fmt.Sprintf("%d", timer*4), f3(v)})
+	}
+	t.Notes = append(t.Notes,
+		"the paper fixes the timer at 16 cycles: enough to see the L2 tag result (11-cycle L2) without inflating the ROB")
+	return t
+}
+
+// AblationLLIBSize sweeps the LLIB capacity. §4.2 notes the FIFOs can be
+// made larger than the SLIQ at little cost, and Figure 13/14 show occupancy
+// rarely demands the full 2048.
+func AblationLLIBSize(s Scale) *Table {
+	sizes := []int{256, 512, 1024, 2048, 4096}
+	var jobs []job
+	for _, size := range sizes {
+		cfg := core.Config{Name: fmt.Sprintf("llib%d", size), LLIBSize: size}
+		for _, b := range workload.Names() {
+			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
+		}
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"LLIB entries (each)", "SpecINT IPC", "SpecFP IPC"}}
+	for _, size := range sizes {
+		pi := suiteMean(res, fmt.Sprintf("llib%d", size), workload.SpecINT)
+		pf := suiteMean(res, fmt.Sprintf("llib%d", size), workload.SpecFP)
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", size), f3(pi), f3(pf)})
+	}
+	t.Notes = append(t.Notes, "paper: growing the FIFOs beyond the SLIQ's 1024 entries has little performance impact")
+	return t
+}
+
+// AblationLLRF compares the banked, capacity-limited LLRF against ideal
+// register storage, and reports how often bank conflicts occurred. §3.2 and
+// §4.5 argue the 8×256 banked organization is never the bottleneck.
+func AblationLLRF(s Scale) *Table {
+	ideal := core.Config{Name: "ideal-llrf", IdealLLRF: true}
+	var jobs []job
+	for _, b := range workload.Names() {
+		jobs = append(jobs, runDKIP("base/"+b, b, core.Config{}, s))
+		jobs = append(jobs, runDKIP("ideal/"+b, b, ideal, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"suite", "banked LLRF IPC", "ideal storage IPC", "delta (%)", "bank conflicts/10k instr"}}
+	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {
+		base := suiteMean(res, "base", suite)
+		id := suiteMean(res, "ideal", suite)
+		var conf, instr float64
+		for _, b := range workload.SuiteNames(suite) {
+			st := res["base/"+b]
+			conf += float64(st.LLRFBankConflicts)
+			instr += float64(st.Committed)
+		}
+		t.Rows = append(t.Rows, []string{suite.String(), f3(base), f3(id),
+			f1(100 * (id/base - 1)), f1(10000 * conf / instr)})
+	}
+	t.Notes = append(t.Notes, "paper (§4.5): the single-ported 8-bank LLRF is a bottleneck for neither area nor performance")
+	return t
+}
+
+// AblationRunahead compares the paper's related-work alternative: a 64-entry
+// core with runahead execution (Mutlu et al. [24]) against the plain R10-64
+// and the D-KIP. Runahead turns independent misses into prefetches but
+// cannot execute the miss-dependent code, so the D-KIP should retain a clear
+// SpecFP lead while runahead narrows part of the gap.
+func AblationRunahead(s Scale) *Table {
+	var jobs []job
+	for _, b := range workload.Names() {
+		jobs = append(jobs, runOOO("R10-64/"+b, b, ooo.R10K64(), s))
+		withRA := ooo.R10K64()
+		withRA.Name = "R10-64+RA"
+		withRA.RunaheadDepth = 256
+		jobs = append(jobs, runOOO("R10-64+RA/"+b, b, withRA, s))
+		jobs = append(jobs, runDKIP("DKIP/"+b, b, core.Config{}, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"architecture", "SpecINT", "SpecFP"}}
+	for _, name := range []string{"R10-64", "R10-64+RA", "DKIP"} {
+		t.Rows = append(t.Rows, []string{name,
+			f3(suiteMean(res, name, workload.SpecINT)),
+			f3(suiteMean(res, name, workload.SpecFP))})
+	}
+	t.Notes = append(t.Notes,
+		"runahead prefetches independent misses under a blocking miss but discards the work;",
+		"the D-KIP executes the same slices for real, so it should stay ahead, especially on SpecFP")
+	return t
+}
+
+// AblationCheckpoint compares checkpoint-placement policies under a
+// replay-distance recovery model: stride-only checkpoints vs additionally
+// anchoring checkpoints on low-confidence branches (Akkary et al. [12]).
+func AblationCheckpoint(s Scale) *Table {
+	stride := core.Config{Name: "stride", ReplayRecovery: true}
+	lowconf := core.Config{Name: "lowconf", ReplayRecovery: true, CheckpointOnLowConf: true}
+	var jobs []job
+	for _, b := range workload.SuiteNames(workload.SpecINT) {
+		jobs = append(jobs, runDKIP("stride/"+b, b, stride, s))
+		jobs = append(jobs, runDKIP("lowconf/"+b, b, lowconf, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"checkpoint policy", "SpecINT IPC"}}
+	st := suiteMean(res, "stride", workload.SpecINT)
+	lc := suiteMean(res, "lowconf", workload.SpecINT)
+	t.Rows = append(t.Rows,
+		[]string{"every 64 analyzed instructions", f3(st)},
+		[]string{"+ low-confidence branches", f3(lc)},
+	)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("low-confidence anchoring changes SpecINT IPC by %+.1f%%", 100*(lc/st-1)),
+		"integer codes take the rollbacks; anchoring checkpoints at likely-mispredicting branches shortens replay")
+	return t
+}
+
+// AblationPrefetch pits hardware prefetching — industry's answer to the same
+// streaming misses the D-KIP hides — against the decoupled window, on both a
+// small core and the D-KIP itself. Next-4-line prefetching rescues much of
+// the streaming FP loss on the small core but cannot touch pointer chains;
+// the D-KIP's window subsumes most of what prefetching provides.
+func AblationPrefetch(s Scale) *Table {
+	pf := mem.DefaultConfig()
+	pf.PrefetchDegree = 4
+	r64 := ooo.R10K64()
+	r64pf := ooo.R10K64()
+	r64pf.Name = "R10-64+PF4"
+	r64pf.Mem = pf
+	dk := core.Config{Name: "DKIP"}
+	dkpf := core.Config{Name: "DKIP+PF4", Mem: pf}
+
+	var jobs []job
+	for _, b := range workload.Names() {
+		jobs = append(jobs, runOOO("R10-64/"+b, b, r64, s))
+		jobs = append(jobs, runOOO("R10-64+PF4/"+b, b, r64pf, s))
+		jobs = append(jobs, runDKIP("DKIP/"+b, b, dk, s))
+		jobs = append(jobs, runDKIP("DKIP+PF4/"+b, b, dkpf, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"architecture", "SpecINT", "SpecFP"}}
+	for _, name := range []string{"R10-64", "R10-64+PF4", "DKIP", "DKIP+PF4"} {
+		t.Rows = append(t.Rows, []string{name,
+			f3(suiteMean(res, name, workload.SpecINT)),
+			f3(suiteMean(res, name, workload.SpecFP))})
+	}
+	t.Notes = append(t.Notes,
+		"the prefetcher is timing-free (optimistic); even so the D-KIP retains its lead —",
+		"prefetching cannot execute the dependent slices or follow pointer chains")
+	return t
+}
+
+// AblationMSHR sweeps the number of miss-status holding registers: the
+// memory-level parallelism the D-KIP's kilo-instruction window exposes is
+// only realized if the memory system can track that many outstanding misses.
+// The paper assumes an unconstrained miss path; this quantifies the demand.
+func AblationMSHR(s Scale) *Table {
+	counts := []int{1, 4, 8, 16, 32, 0} // 0 = unlimited
+	label := func(n int) string {
+		if n == 0 {
+			return "unlimited"
+		}
+		return fmt.Sprintf("%d", n)
+	}
+	var jobs []job
+	for _, n := range counts {
+		cfg := core.Config{Name: "mshr-" + label(n), MSHRs: n}
+		for _, b := range workload.SuiteNames(workload.SpecFP) {
+			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
+		}
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"MSHRs", "SpecFP IPC"}}
+	for _, n := range counts {
+		t.Rows = append(t.Rows, []string{label(n),
+			f3(suiteMean(res, "mshr-"+label(n), workload.SpecFP))})
+	}
+	t.Notes = append(t.Notes,
+		"with one MSHR the machine degenerates toward a blocking cache regardless of window size;",
+		"saturation shows how many concurrent misses the 2048-entry LLIBs actually sustain")
+	return t
+}
+
+// AblationSingleLLIB quantifies the dual LLIB + dual MP organization against
+// a single merged pair — the paper credits part of the D-KIP's SpecFP edge
+// over the KILO processor to the split (§4.2).
+func AblationSingleLLIB(s Scale) *Table {
+	single := core.Config{Name: "single", SingleLLIB: true}
+	var jobs []job
+	for _, b := range workload.Names() {
+		jobs = append(jobs, runDKIP("dual/"+b, b, core.Config{}, s))
+		jobs = append(jobs, runDKIP("single/"+b, b, single, s))
+	}
+	res := runAll(jobs)
+
+	t := &Table{Columns: []string{"suite", "dual LLIB/MP IPC", "single LLIB/MP IPC", "dual advantage (%)"}}
+	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {
+		dual := suiteMean(res, "dual", suite)
+		sing := suiteMean(res, "single", suite)
+		t.Rows = append(t.Rows, []string{suite.String(), f3(dual), f3(sing), f1(100 * (dual/sing - 1))})
+	}
+	t.Notes = append(t.Notes,
+		"paper (§4.2): two LLIBs progress out-of-order with respect to each other and two MPs add execution bandwidth")
+	return t
+}

@@ -1,0 +1,205 @@
+// Package isa defines the Alpha-like instruction set abstraction consumed by
+// every processor model in this repository.
+//
+// The paper simulates Alpha binaries on SimpleScalar. The timing behaviour it
+// studies depends only on each instruction's dataflow (at most two source
+// registers and one destination, as in the Alpha ISA), its operation class
+// (which functional unit it needs and its execution latency), the addresses
+// touched by loads and stores, and branch outcomes. This package captures
+// exactly that surface and nothing more.
+package isa
+
+import "fmt"
+
+// Op is the operation class of an instruction. Classes map one-to-one onto
+// the functional-unit pools of Table 2 in the paper.
+type Op uint8
+
+// Operation classes.
+const (
+	// Nop performs no work but still occupies front-end and window slots.
+	Nop Op = iota
+	// IntALU is a single-cycle integer operation (add, logical, compare).
+	IntALU
+	// IntMul is a pipelined integer multiply.
+	IntMul
+	// FPAdd is a pipelined floating-point add/subtract/convert.
+	FPAdd
+	// FPMul is a pipelined floating-point multiply.
+	FPMul
+	// FPDiv is an unpipelined floating-point divide/sqrt.
+	FPDiv
+	// Load reads memory; its completion latency is decided by the cache
+	// hierarchy at execute time.
+	Load
+	// Store writes memory at commit. It needs an address generation slot
+	// and an LSQ entry but produces no register value.
+	Store
+	// Branch is a conditional branch; Taken carries the trace outcome.
+	Branch
+	numOps
+)
+
+// NumOps is the number of distinct operation classes.
+const NumOps = int(numOps)
+
+var opNames = [NumOps]string{
+	"nop", "ialu", "imul", "fpadd", "fpmul", "fpdiv", "load", "store", "branch",
+}
+
+// String returns the mnemonic for the operation class.
+func (o Op) String() string {
+	if int(o) < NumOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation class.
+func (o Op) Valid() bool { return o < numOps }
+
+// IsFP reports whether the operation executes on the floating-point cluster.
+// The D-KIP routes instructions to the integer or FP LLIB using this class.
+func (o Op) IsFP() bool { return o == FPAdd || o == FPMul || o == FPDiv }
+
+// IsMem reports whether the operation accesses memory.
+func (o Op) IsMem() bool { return o == Load || o == Store }
+
+// HasDest reports whether the operation produces a register value.
+func (o Op) HasDest() bool {
+	switch o {
+	case Nop, Store, Branch:
+		return false
+	}
+	return true
+}
+
+// Register identifiers. Registers 0..NumIntRegs-1 are integer registers;
+// NumIntRegs..NumRegs-1 are floating-point registers. RegNone marks an unused
+// operand slot.
+const (
+	NumIntRegs = 32
+	NumFPRegs  = 32
+	NumRegs    = NumIntRegs + NumFPRegs
+
+	// RegNone marks an absent source or destination operand.
+	RegNone = Reg(255)
+)
+
+// Reg names an architectural register.
+type Reg uint8
+
+// IsInt reports whether r is an integer register.
+func (r Reg) IsInt() bool { return r < NumIntRegs }
+
+// IsFP reports whether r is a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs && r < NumRegs }
+
+// Valid reports whether r names a register (RegNone is not valid).
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// String returns r0..r31 for integer registers and f0..f31 for FP registers.
+func (r Reg) String() string {
+	switch {
+	case r.IsInt():
+		return fmt.Sprintf("r%d", uint8(r))
+	case r.IsFP():
+		return fmt.Sprintf("f%d", uint8(r)-NumIntRegs)
+	case r == RegNone:
+		return "-"
+	}
+	return fmt.Sprintf("reg(%d)", uint8(r))
+}
+
+// IntReg returns the i'th integer register.
+func IntReg(i int) Reg { return Reg(i % NumIntRegs) }
+
+// FPReg returns the i'th floating-point register.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i%NumFPRegs) }
+
+// Instr is one dynamic instruction as produced by a workload generator.
+// It is a value type; processor models copy it into their own bookkeeping
+// structures (pipeline.DynInst).
+type Instr struct {
+	// PC is the instruction address, used by branch predictors.
+	PC uint64
+	// Op is the operation class.
+	Op Op
+	// Dest is the destination register, or RegNone.
+	Dest Reg
+	// Src1, Src2 are source registers, or RegNone. Alpha-style: at most
+	// two sources. For stores, Src1 is the data register and Src2 the
+	// address base; for loads Src1 is the address base.
+	Src1, Src2 Reg
+	// Addr is the effective memory address for loads and stores.
+	Addr uint64
+	// Taken is the trace outcome for branches.
+	Taken bool
+	// ChainLoad marks a load whose address depends on a previous load's
+	// value (pointer chasing). Generators set it so instrumentation can
+	// report chain behaviour; timing models rely only on Src dataflow.
+	ChainLoad bool
+}
+
+// Sources returns the valid source registers of the instruction.
+func (in *Instr) Sources() []Reg {
+	var s []Reg
+	if in.Src1.Valid() {
+		s = append(s, in.Src1)
+	}
+	if in.Src2.Valid() {
+		s = append(s, in.Src2)
+	}
+	return s
+}
+
+// NumSources counts valid source operands without allocating.
+func (in *Instr) NumSources() int {
+	n := 0
+	if in.Src1.Valid() {
+		n++
+	}
+	if in.Src2.Valid() {
+		n++
+	}
+	return n
+}
+
+// String renders a compact assembly-like form, useful in tests and traces.
+func (in *Instr) String() string {
+	switch in.Op {
+	case Load:
+		return fmt.Sprintf("%#x: %s %s <- [%#x](%s)", in.PC, in.Op, in.Dest, in.Addr, in.Src1)
+	case Store:
+		return fmt.Sprintf("%#x: %s [%#x](%s) <- %s", in.PC, in.Op, in.Addr, in.Src2, in.Src1)
+	case Branch:
+		t := "nt"
+		if in.Taken {
+			t = "t"
+		}
+		return fmt.Sprintf("%#x: %s %s,%s (%s)", in.PC, in.Op, in.Src1, in.Src2, t)
+	default:
+		return fmt.Sprintf("%#x: %s %s <- %s,%s", in.PC, in.Op, in.Dest, in.Src1, in.Src2)
+	}
+}
+
+// Latency returns the fixed execution latency in cycles of non-memory
+// operation classes, matching the functional units of Table 2. Loads and
+// stores get their latency from the memory hierarchy instead.
+func (o Op) Latency() int {
+	switch o {
+	case Nop, IntALU, Branch:
+		return 1
+	case IntMul:
+		return 3
+	case FPAdd:
+		return 2
+	case FPMul:
+		return 4
+	case FPDiv:
+		return 12
+	case Load, Store:
+		return 1 // address generation; memory time added by the hierarchy
+	}
+	return 1
+}

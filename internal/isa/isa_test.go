@@ -1,0 +1,133 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", IntALU: "ialu", IntMul: "imul",
+		FPAdd: "fpadd", FPMul: "fpmul", FPDiv: "fpdiv",
+		Load: "load", Store: "store", Branch: "branch",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+	if got := Op(200).String(); got != "op(200)" {
+		t.Errorf("invalid op string = %q", got)
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+		wantFP := op == FPAdd || op == FPMul || op == FPDiv
+		if op.IsFP() != wantFP {
+			t.Errorf("%v IsFP = %v", op, op.IsFP())
+		}
+		wantMem := op == Load || op == Store
+		if op.IsMem() != wantMem {
+			t.Errorf("%v IsMem = %v", op, op.IsMem())
+		}
+	}
+	if Op(99).Valid() {
+		t.Error("Op(99) should be invalid")
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	noDest := map[Op]bool{Nop: true, Store: true, Branch: true}
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.HasDest() == noDest[op] {
+			t.Errorf("%v HasDest = %v", op, op.HasDest())
+		}
+	}
+}
+
+func TestLatencyPositive(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.Latency() <= 0 {
+			t.Errorf("%v latency %d not positive", op, op.Latency())
+		}
+	}
+	if IntALU.Latency() != 1 {
+		t.Errorf("ALU latency = %d, want 1", IntALU.Latency())
+	}
+	if FPDiv.Latency() <= FPMul.Latency() {
+		t.Error("FP divide should be slower than multiply")
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	r := IntReg(5)
+	if !r.IsInt() || r.IsFP() || !r.Valid() {
+		t.Errorf("IntReg(5) classification wrong: %v", r)
+	}
+	f := FPReg(5)
+	if f.IsInt() || !f.IsFP() || !f.Valid() {
+		t.Errorf("FPReg(5) classification wrong: %v", f)
+	}
+	if RegNone.Valid() {
+		t.Error("RegNone should be invalid")
+	}
+	if got := IntReg(3).String(); got != "r3" {
+		t.Errorf("IntReg(3) = %q", got)
+	}
+	if got := FPReg(3).String(); got != "f3" {
+		t.Errorf("FPReg(3) = %q", got)
+	}
+	if got := RegNone.String(); got != "-" {
+		t.Errorf("RegNone = %q", got)
+	}
+}
+
+func TestRegWrapping(t *testing.T) {
+	// IntReg and FPReg must always return valid registers of their class.
+	err := quick.Check(func(i int) bool {
+		if i < 0 {
+			i = -i
+		}
+		return IntReg(i).IsInt() && FPReg(i).IsFP()
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrSources(t *testing.T) {
+	in := Instr{Op: IntALU, Dest: IntReg(1), Src1: IntReg(2), Src2: RegNone}
+	if n := in.NumSources(); n != 1 {
+		t.Errorf("NumSources = %d, want 1", n)
+	}
+	if s := in.Sources(); len(s) != 1 || s[0] != IntReg(2) {
+		t.Errorf("Sources = %v", s)
+	}
+	in.Src2 = IntReg(3)
+	if n := in.NumSources(); n != 2 {
+		t.Errorf("NumSources = %d, want 2", n)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	load := Instr{PC: 0x1000, Op: Load, Dest: IntReg(1), Src1: IntReg(2), Src2: RegNone, Addr: 0x2000}
+	if got := load.String(); got == "" {
+		t.Error("empty load string")
+	}
+	st := Instr{PC: 0x1004, Op: Store, Src1: IntReg(1), Src2: IntReg(2), Addr: 0x2000}
+	if got := st.String(); got == "" {
+		t.Error("empty store string")
+	}
+	br := Instr{PC: 0x1008, Op: Branch, Src1: IntReg(1), Taken: true}
+	if got := br.String(); got == "" {
+		t.Error("empty branch string")
+	}
+	alu := Instr{PC: 0x100c, Op: IntALU, Dest: IntReg(3), Src1: IntReg(1), Src2: IntReg(2)}
+	if got := alu.String(); got == "" {
+		t.Error("empty alu string")
+	}
+}

@@ -1,0 +1,166 @@
+// Package mem models the memory hierarchy of the paper: set-associative LRU
+// caches in front of a fixed-latency main memory.
+//
+// The hierarchy reproduces the six configurations of Table 1 (L1-2 through
+// MEM-1000) and the L2 size sweep of Figures 11/12 (64KB–4MB). Access returns
+// the latency a load observes and updates cache state; that is the only
+// interface the processor models need.
+package mem
+
+import "fmt"
+
+// Cache is a set-associative cache with true-LRU replacement.
+type Cache struct {
+	name      string
+	sizeBytes int
+	lineBytes int
+	assoc     int
+	numSets   int
+	setShift  uint // log2(lineBytes)
+	setMask   uint64
+
+	// tags[set][way] holds the line tag; lru[set][way] holds a per-set
+	// logical clock: larger = more recently used.
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	// Stats.
+	Accesses uint64
+	Misses   uint64
+}
+
+// NewCache builds a cache. size and line are in bytes; assoc is the number of
+// ways. size must be a multiple of line*assoc and all parameters powers of
+// two (the usual hardware constraint); NewCache panics otherwise, since a bad
+// cache geometry is a programming error in an experiment definition.
+func NewCache(name string, size, line, assoc int) *Cache {
+	if size <= 0 || line <= 0 || assoc <= 0 {
+		panic(fmt.Sprintf("mem: cache %q: non-positive geometry (size=%d line=%d assoc=%d)", name, size, line, assoc))
+	}
+	if size%(line*assoc) != 0 {
+		panic(fmt.Sprintf("mem: cache %q: size %d not divisible by line*assoc %d", name, size, line*assoc))
+	}
+	if !powerOfTwo(size) || !powerOfTwo(line) || !powerOfTwo(assoc) {
+		panic(fmt.Sprintf("mem: cache %q: geometry must be powers of two", name))
+	}
+	sets := size / (line * assoc)
+	c := &Cache{
+		name:      name,
+		sizeBytes: size,
+		lineBytes: line,
+		assoc:     assoc,
+		numSets:   sets,
+		setShift:  uint(log2(line)),
+		setMask:   uint64(sets - 1),
+	}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := 0; i < sets; i++ {
+		c.tags[i] = make([]uint64, assoc)
+		c.valid[i] = make([]bool, assoc)
+		c.lru[i] = make([]uint64, assoc)
+	}
+	return c
+}
+
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// Name returns the cache's configured name (e.g. "L1D").
+func (c *Cache) Name() string { return c.name }
+
+// Size returns the capacity in bytes.
+func (c *Cache) Size() int { return c.sizeBytes }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.lineBytes }
+
+// Assoc returns the associativity.
+func (c *Cache) Assoc() int { return c.assoc }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.numSets }
+
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	line := addr >> c.setShift
+	return int(line & c.setMask), line >> uint(log2(c.numSets))
+}
+
+// Lookup reports whether addr hits without modifying any state (no LRU
+// update, no fill, no stats). The D-KIP's Analyze stage uses this to model
+// the L2 tag probe that classifies a load as short- or long-latency.
+func (c *Cache) Lookup(addr uint64) bool {
+	set, tag := c.index(addr)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a demand access: on a hit the line's recency is refreshed;
+// on a miss the LRU way is replaced. It returns whether the access hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.clock++
+	set, tag := c.index(addr)
+	for w := 0; w < c.assoc; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: choose an invalid way, else the least recently used.
+	victim := 0
+	var best uint64 = ^uint64(0)
+	for w := 0; w < c.assoc; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			best = 0
+			break
+		}
+		if c.lru[set][w] < best {
+			best = c.lru[set][w]
+			victim = w
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// MissRate returns misses/accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := 0; s < c.numSets; s++ {
+		for w := 0; w < c.assoc; w++ {
+			c.valid[s][w] = false
+			c.tags[s][w] = 0
+			c.lru[s][w] = 0
+		}
+	}
+	c.clock = 0
+	c.Accesses = 0
+	c.Misses = 0
+}

@@ -1,0 +1,296 @@
+package mem
+
+import "fmt"
+
+// Level identifies where in the hierarchy an access was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	// LevelL1 means the access hit in the first-level cache.
+	LevelL1 Level = iota
+	// LevelL2 means the access missed L1 and hit the second-level cache.
+	LevelL2
+	// LevelMemory means the access went to main memory.
+	LevelMemory
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelMemory:
+		return "MEM"
+	}
+	return fmt.Sprintf("level(%d)", uint8(l))
+}
+
+// Config describes a memory hierarchy, mirroring Table 1 of the paper.
+// A zero L1Size or L2Size means "infinite" at that level: every access hits
+// there (used for the perfect-cache limit configurations).
+type Config struct {
+	// Name labels the configuration in tables (e.g. "MEM-400").
+	Name string
+	// L1Size is the L1 capacity in bytes; 0 means a perfect (infinite) L1.
+	L1Size int
+	// L1Latency is the L1 hit latency in cycles.
+	L1Latency int
+	// L2Size is the L2 capacity in bytes; 0 with L2Latency>0 means a
+	// perfect L2; L2Latency==0 means there is no L2 (L1 misses go to
+	// memory).
+	L2Size int
+	// L2Latency is the L2 hit latency in cycles (0 = no L2 level).
+	L2Latency int
+	// MemLatency is the main-memory access latency in cycles (0 = no
+	// misses escape the last cache level, i.e. that level is perfect).
+	MemLatency int
+	// LineSize is the cache line size in bytes; defaults to 64.
+	LineSize int
+	// L1Assoc and L2Assoc default to 2 and 8 respectively.
+	L1Assoc, L2Assoc int
+	// PrefetchDegree enables a next-N-line prefetcher at the L2: every
+	// demand access that reaches main memory also fills the following
+	// PrefetchDegree lines into the L2. Zero disables (the paper's
+	// machines have no prefetcher). Prefetch fills are modeled as free in
+	// time — an optimistic prefetcher, which makes the comparison against
+	// the D-KIP conservative.
+	PrefetchDegree int
+}
+
+// Table1Configs returns the six memory subsystems of Table 1, used for the
+// memory-wall limit study (Figures 1 and 2).
+func Table1Configs() []Config {
+	return []Config{
+		{Name: "L1-2", L1Size: 0, L1Latency: 2},
+		{Name: "L2-11", L1Size: 32 << 10, L1Latency: 2, L2Size: 0, L2Latency: 11},
+		{Name: "L2-21", L1Size: 32 << 10, L1Latency: 2, L2Size: 0, L2Latency: 21},
+		{Name: "MEM-100", L1Size: 32 << 10, L1Latency: 2, L2Size: 512 << 10, L2Latency: 11, MemLatency: 100},
+		{Name: "MEM-400", L1Size: 32 << 10, L1Latency: 2, L2Size: 512 << 10, L2Latency: 11, MemLatency: 400},
+		{Name: "MEM-1000", L1Size: 32 << 10, L1Latency: 2, L2Size: 512 << 10, L2Latency: 11, MemLatency: 1000},
+	}
+}
+
+// DefaultConfig returns the paper's default memory subsystem (Table 2/3):
+// 32KB L1 with 2-cycle hits, 512KB L2 with 11-cycle hits, 400-cycle memory.
+func DefaultConfig() Config {
+	return Config{
+		Name:       "MEM-400",
+		L1Size:     32 << 10,
+		L1Latency:  2,
+		L2Size:     512 << 10,
+		L2Latency:  11,
+		MemLatency: 400,
+	}
+}
+
+// WithL2Size returns a copy of c with the L2 capacity replaced, renamed to
+// reflect the new size. Used by the cache sweep of Figures 11/12.
+func (c Config) WithL2Size(bytes int) Config {
+	c.L2Size = bytes
+	c.Name = fmt.Sprintf("L2-%dKB", bytes>>10)
+	return c
+}
+
+func (c Config) withDefaults() Config {
+	if c.LineSize == 0 {
+		c.LineSize = 64
+	}
+	if c.L1Assoc == 0 {
+		c.L1Assoc = 2
+	}
+	if c.L2Assoc == 0 {
+		c.L2Assoc = 8
+	}
+	return c
+}
+
+// Validate reports an error for nonsensical configurations.
+func (c Config) Validate() error {
+	if c.L1Latency <= 0 {
+		return fmt.Errorf("mem: config %q: L1 latency must be positive", c.Name)
+	}
+	if c.L2Latency < 0 || c.MemLatency < 0 {
+		return fmt.Errorf("mem: config %q: negative latency", c.Name)
+	}
+	if c.MemLatency > 0 && c.L2Latency == 0 && c.L1Size == 0 {
+		return fmt.Errorf("mem: config %q: perfect L1 cannot miss to memory", c.Name)
+	}
+	return nil
+}
+
+// Hierarchy simulates the cache hierarchy. It is not safe for concurrent use;
+// each simulated processor owns one.
+type Hierarchy struct {
+	cfg Config
+	l1  *Cache // nil when perfect
+	l2  *Cache // nil when absent or perfect
+
+	// Stats per satisfaction level.
+	Count [3]uint64
+	// Prefetches counts lines the next-line prefetcher filled.
+	Prefetches uint64
+}
+
+// NewHierarchy builds the hierarchy for a configuration. It panics on an
+// invalid configuration (experiment definitions are code, not user input).
+func NewHierarchy(cfg Config) *Hierarchy {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	h := &Hierarchy{cfg: cfg}
+	if cfg.L1Size > 0 {
+		h.l1 = NewCache("L1", cfg.L1Size, cfg.LineSize, cfg.L1Assoc)
+	}
+	if cfg.L2Latency > 0 && cfg.L2Size > 0 {
+		h.l2 = NewCache("L2", cfg.L2Size, cfg.LineSize, cfg.L2Assoc)
+	}
+	return h
+}
+
+// Config returns the configuration the hierarchy was built from (with
+// defaults applied).
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Access performs a demand access (load or store fill) and returns the
+// latency observed and the level that satisfied it.
+func (h *Hierarchy) Access(addr uint64) (latency int, level Level) {
+	// Perfect L1.
+	if h.l1 == nil {
+		h.Count[LevelL1]++
+		return h.cfg.L1Latency, LevelL1
+	}
+	if h.l1.Access(addr) {
+		h.Count[LevelL1]++
+		return h.cfg.L1Latency, LevelL1
+	}
+	// L1 miss.
+	if h.cfg.L2Latency > 0 {
+		if h.l2 == nil { // perfect L2
+			h.Count[LevelL2]++
+			return h.cfg.L2Latency, LevelL2
+		}
+		if h.l2.Access(addr) {
+			h.Count[LevelL2]++
+			return h.cfg.L2Latency, LevelL2
+		}
+		if h.cfg.MemLatency == 0 {
+			// Last level declared perfect beyond L2 — treat L2 miss
+			// as L2 fill at memoryless cost (not used by Table 1
+			// configs, but keeps the model total).
+			h.Count[LevelL2]++
+			return h.cfg.L2Latency, LevelL2
+		}
+		h.Count[LevelMemory]++
+		h.prefetch(addr)
+		return h.cfg.MemLatency, LevelMemory
+	}
+	// No L2: L1 miss goes to memory (or is perfect if no memory declared).
+	if h.cfg.MemLatency == 0 {
+		h.Count[LevelL1]++
+		return h.cfg.L1Latency, LevelL1
+	}
+	h.Count[LevelMemory]++
+	return h.cfg.MemLatency, LevelMemory
+}
+
+// prefetch fills the next PrefetchDegree lines after a demand miss into the
+// L2 (next-N-line prefetching). Lines already resident are refreshed, which
+// is harmless; new lines may evict — prefetch pollution is modeled.
+func (h *Hierarchy) prefetch(addr uint64) {
+	if h.cfg.PrefetchDegree <= 0 || h.l2 == nil {
+		return
+	}
+	line := uint64(h.cfg.LineSize)
+	base := addr &^ (line - 1)
+	for i := 1; i <= h.cfg.PrefetchDegree; i++ {
+		next := base + uint64(i)*line
+		if !h.l2.Lookup(next) {
+			h.l2.Access(next)
+			h.Prefetches++
+		}
+	}
+}
+
+// ProbeLongLatency reports, without disturbing cache or statistics state,
+// whether a demand access to addr would go to main memory. The D-KIP Analyze
+// stage uses this as the L2 tag-array check that classifies loads.
+func (h *Hierarchy) ProbeLongLatency(addr uint64) bool {
+	if h.cfg.MemLatency == 0 {
+		return false
+	}
+	if h.l1 != nil && h.l1.Lookup(addr) {
+		return false
+	}
+	if h.l1 == nil {
+		return false
+	}
+	if h.cfg.L2Latency > 0 {
+		if h.l2 == nil {
+			return false
+		}
+		return !h.l2.Lookup(addr)
+	}
+	return true
+}
+
+// L1 returns the L1 cache, or nil when the level is perfect.
+func (h *Hierarchy) L1() *Cache { return h.l1 }
+
+// L2 returns the L2 cache, or nil when absent/perfect.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+// Accesses returns the total number of demand accesses.
+func (h *Hierarchy) Accesses() uint64 {
+	return h.Count[LevelL1] + h.Count[LevelL2] + h.Count[LevelMemory]
+}
+
+// MemoryFraction returns the fraction of accesses that reached main memory.
+func (h *Hierarchy) MemoryFraction() float64 {
+	total := h.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(h.Count[LevelMemory]) / float64(total)
+}
+
+// Reset clears cache contents and statistics.
+func (h *Hierarchy) Reset() {
+	if h.l1 != nil {
+		h.l1.Reset()
+	}
+	if h.l2 != nil {
+		h.l2.Reset()
+	}
+	h.Count = [3]uint64{}
+}
+
+// ResetStats clears access statistics while keeping cache contents — used
+// after prewarming.
+func (h *Hierarchy) ResetStats() {
+	if h.l1 != nil {
+		h.l1.Accesses, h.l1.Misses = 0, 0
+	}
+	if h.l2 != nil {
+		h.l2.Accesses, h.l2.Misses = 0, 0
+	}
+	h.Count = [3]uint64{}
+}
+
+// Warm walks every cache line of the given [base, base+size) ranges through
+// the hierarchy and then clears statistics, leaving the caches in the steady
+// state a long-running program would have established. Ranges are walked in
+// order, so later ranges win the capacity contest, as a program's hottest
+// data would.
+func (h *Hierarchy) Warm(ranges [][2]uint64) {
+	line := uint64(h.cfg.LineSize)
+	for _, r := range ranges {
+		for a := r[0]; a < r[0]+r[1]; a += line {
+			h.Access(a)
+		}
+	}
+	h.ResetStats()
+}

@@ -1,0 +1,221 @@
+package mem
+
+import (
+	"testing"
+)
+
+func TestTable1Configs(t *testing.T) {
+	cfgs := Table1Configs()
+	if len(cfgs) != 6 {
+		t.Fatalf("Table 1 has 6 configurations, got %d", len(cfgs))
+	}
+	wantNames := []string{"L1-2", "L2-11", "L2-21", "MEM-100", "MEM-400", "MEM-1000"}
+	for i, c := range cfgs {
+		if c.Name != wantNames[i] {
+			t.Errorf("config %d = %q, want %q", i, c.Name, wantNames[i])
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("config %s invalid: %v", c.Name, err)
+		}
+	}
+}
+
+func TestPerfectL1(t *testing.T) {
+	h := NewHierarchy(Table1Configs()[0]) // L1-2
+	for addr := uint64(0); addr < 1<<26; addr += 77777 {
+		lat, lvl := h.Access(addr)
+		if lat != 2 || lvl != LevelL1 {
+			t.Fatalf("perfect L1 returned lat=%d lvl=%v", lat, lvl)
+		}
+	}
+}
+
+func TestPerfectL2(t *testing.T) {
+	h := NewHierarchy(Table1Configs()[1]) // L2-11: 32KB L1, perfect L2
+	sawL2 := false
+	for addr := uint64(0); addr < 1<<22; addr += 4096 {
+		lat, lvl := h.Access(addr)
+		switch lvl {
+		case LevelL1:
+			if lat != 2 {
+				t.Fatalf("L1 lat %d", lat)
+			}
+		case LevelL2:
+			sawL2 = true
+			if lat != 11 {
+				t.Fatalf("L2 lat %d", lat)
+			}
+		default:
+			t.Fatalf("perfect-L2 config reached %v", lvl)
+		}
+	}
+	if !sawL2 {
+		t.Error("expected some L1 misses")
+	}
+}
+
+func TestMemoryLatencies(t *testing.T) {
+	for _, cfg := range Table1Configs()[3:] {
+		h := NewHierarchy(cfg)
+		// Distinct lines far apart: cold misses go to memory.
+		lat, lvl := h.Access(0x100000)
+		if lvl != LevelMemory || lat != cfg.MemLatency {
+			t.Errorf("%s: cold access lat=%d lvl=%v, want %d/MEM", cfg.Name, lat, lvl, cfg.MemLatency)
+		}
+		// Immediately after, the same line is an L1 hit.
+		lat, lvl = h.Access(0x100000)
+		if lvl != LevelL1 || lat != cfg.L1Latency {
+			t.Errorf("%s: repeat access lat=%d lvl=%v", cfg.Name, lat, lvl)
+		}
+	}
+}
+
+func TestProbeLongLatency(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	addr := uint64(0x400000)
+	if !h.ProbeLongLatency(addr) {
+		t.Error("cold line should probe long-latency")
+	}
+	h.Access(addr)
+	if h.ProbeLongLatency(addr) {
+		t.Error("resident line should not probe long-latency")
+	}
+	// Probing must not disturb statistics.
+	accesses := h.Accesses()
+	h.ProbeLongLatency(addr)
+	if h.Accesses() != accesses {
+		t.Error("probe counted as an access")
+	}
+	// Perfect-L1 configs never probe long.
+	p := NewHierarchy(Table1Configs()[0])
+	if p.ProbeLongLatency(addr) {
+		t.Error("perfect L1 cannot be long-latency")
+	}
+}
+
+func TestWarmEstablishesResidency(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Warm([][2]uint64{{0x10000, 64 << 10}}) // 64KB region fits the 512KB L2
+	if h.Accesses() != 0 {
+		t.Error("Warm should clear statistics")
+	}
+	memBefore := h.Count[LevelMemory]
+	for a := uint64(0x10000); a < 0x10000+(64<<10); a += 64 {
+		h.Access(a)
+	}
+	if h.Count[LevelMemory] != memBefore {
+		t.Errorf("warmed region missed to memory %d times", h.Count[LevelMemory]-memBefore)
+	}
+}
+
+func TestWithL2Size(t *testing.T) {
+	c := DefaultConfig().WithL2Size(4 << 20)
+	if c.L2Size != 4<<20 {
+		t.Errorf("L2 size = %d", c.L2Size)
+	}
+	if c.Name != "L2-4096KB" {
+		t.Errorf("name = %q", c.Name)
+	}
+	if err := c.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHierarchyStats(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(0x1000)
+	h.Access(0x1000)
+	if h.Accesses() != 2 {
+		t.Errorf("accesses = %d", h.Accesses())
+	}
+	if h.MemoryFraction() != 0.5 {
+		t.Errorf("memory fraction = %v", h.MemoryFraction())
+	}
+	h.ResetStats()
+	if h.Accesses() != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+	if _, lvl := h.Access(0x1000); lvl != LevelL1 {
+		t.Error("ResetStats must keep contents")
+	}
+	h.Reset()
+	if _, lvl := h.Access(0x1000); lvl != LevelMemory {
+		t.Error("Reset must clear contents")
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	bad := Config{Name: "bad"} // zero L1 latency
+	if err := bad.Validate(); err == nil {
+		t.Error("zero L1 latency should be invalid")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NewHierarchy with invalid config should panic")
+			}
+		}()
+		NewHierarchy(bad)
+	}()
+}
+
+func TestLevelString(t *testing.T) {
+	if LevelL1.String() != "L1" || LevelL2.String() != "L2" || LevelMemory.String() != "MEM" {
+		t.Error("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Error("unknown level should still render")
+	}
+}
+
+func TestPrefetcherFillsNextLines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 2
+	h := NewHierarchy(cfg)
+	_, lvl := h.Access(0x100000) // cold: goes to memory, prefetches +1,+2
+	if lvl != LevelMemory {
+		t.Fatalf("cold access level %v", lvl)
+	}
+	if h.Prefetches != 2 {
+		t.Fatalf("prefetches = %d, want 2", h.Prefetches)
+	}
+	// The next two lines now hit the L2 (they were never in L1).
+	for i := 1; i <= 2; i++ {
+		if _, lvl := h.Access(0x100000 + uint64(i*64)); lvl != LevelL2 {
+			t.Errorf("line +%d at level %v, want L2", i, lvl)
+		}
+	}
+	// The line after the prefetch window still misses.
+	if _, lvl := h.Access(0x100000 + 3*64); lvl != LevelMemory {
+		t.Errorf("line +3 at level %v, want MEM", lvl)
+	}
+}
+
+func TestPrefetcherOffByDefault(t *testing.T) {
+	h := NewHierarchy(DefaultConfig())
+	h.Access(0x200000)
+	if h.Prefetches != 0 {
+		t.Errorf("default config issued %d prefetches", h.Prefetches)
+	}
+	if _, lvl := h.Access(0x200000 + 64); lvl != LevelMemory {
+		t.Errorf("next line at %v without a prefetcher, want MEM", lvl)
+	}
+}
+
+func TestPrefetcherHelpsStreams(t *testing.T) {
+	// Walking sequentially with a degree-4 prefetcher, most line
+	// boundaries hit the L2 instead of memory.
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 4
+	h := NewHierarchy(cfg)
+	var memCount int
+	for a := uint64(0x300000); a < 0x300000+1<<20; a += 8 {
+		if _, lvl := h.Access(a); lvl == LevelMemory {
+			memCount++
+		}
+	}
+	lines := (1 << 20) / 64
+	if memCount > lines/3 {
+		t.Errorf("%d of %d lines missed to memory despite prefetching", memCount, lines)
+	}
+}

@@ -1,0 +1,93 @@
+package ooo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dkip/internal/workload"
+)
+
+// TestRandomConfigsRun drives the out-of-order engine with randomized valid
+// configurations: every run must complete with sane statistics.
+func TestRandomConfigsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property sweep")
+	}
+	check := func(rob, iq uint8, inOrder bool, sliq bool, ra bool) bool {
+		cfg := Config{
+			Name:    "prop",
+			ROBSize: 16 + int(rob),
+			IQSize:  8 + int(iq)%128,
+			InOrder: inOrder && !sliq,
+		}
+		if sliq && !inOrder {
+			cfg.SLIQSize = 256
+		}
+		if ra {
+			cfg.RunaheadDepth = 64
+		}
+		g := workload.MustNew("vortex")
+		p := New(cfg)
+		p.Hierarchy().Warm(g.WarmRanges())
+		st := p.Run(g, 1000, 6000)
+		if st.Committed < 6000 {
+			t.Logf("config %+v committed %d", cfg, st.Committed)
+			return false
+		}
+		if ipc := st.IPC(); ipc <= 0 || ipc > 4 {
+			t.Logf("config %+v IPC %.3f", cfg, ipc)
+			return false
+		}
+		if st.Branches > 0 && st.Mispredicts > st.Branches {
+			t.Logf("config %+v mispredicts exceed branches", cfg)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIssueLatencyAccounting: the histogram must cover every issued
+// instruction in the measurement window.
+func TestIssueLatencyAccounting(t *testing.T) {
+	g := workload.MustNew("applu")
+	p := New(R10K256())
+	p.Hierarchy().Warm(g.WarmRanges())
+	st := p.Run(g, 5000, 20000)
+	// Issued ≈ committed plus in-flight boundary noise; the histogram
+	// total must be in that neighbourhood.
+	if st.IssueLat.Total < st.Committed*9/10 {
+		t.Errorf("histogram covers %d of %d committed", st.IssueLat.Total, st.Committed)
+	}
+	if st.IssueLat.Mean() < 0 {
+		t.Error("negative mean issue latency")
+	}
+}
+
+// TestStatsSaneAcrossMemories: IPC must degrade monotonically as memory gets
+// slower, all else equal.
+func TestStatsSaneAcrossMemories(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	var prev float64 = 1e9
+	for _, mc := range []int{0, 100, 400, 1000} {
+		cfg := R10K64()
+		if mc == 0 {
+			cfg.Mem.MemLatency = 0
+			cfg.Mem.L2Size = 0 // perfect L2
+		} else {
+			cfg.Mem.MemLatency = mc
+		}
+		g := workload.MustNew("lucas")
+		p := New(cfg)
+		p.Hierarchy().Warm(g.WarmRanges())
+		ipc := p.Run(g, 5000, 20000).IPC()
+		if ipc > prev*1.02 {
+			t.Errorf("IPC rose (%.3f -> %.3f) as memory slowed to %d cycles", prev, ipc, mc)
+		}
+		prev = ipc
+	}
+}

@@ -1,0 +1,108 @@
+package ooo
+
+import (
+	"dkip/internal/isa"
+	"dkip/internal/trace"
+)
+
+// Runahead execution (Dundas & Mudge [23]; Mutlu, Stark, Wilkerson & Patt
+// [24]) is the paper's related-work alternative to large instruction
+// windows: when an off-chip miss blocks the head of a small ROB, the
+// processor checkpoints, pseudo-retires the miss, and keeps executing
+// speculatively — not to commit results, but to turn the loads it encounters
+// into prefetches. When the original miss returns, everything speculative is
+// squashed and fetch restarts from the checkpoint with warmer caches.
+//
+// This model captures runahead's architectural effect in a trace-driven
+// setting: while the ROB is blocked by a memory-level load at its head, the
+// front end scans ahead in the instruction stream (up to Config.
+// RunaheadDepth instructions) and issues prefetches for the loads it finds.
+// Pointer-chasing loads (whose address depends on the very data being
+// missed) cannot be prefetched — the fundamental limit of runahead that the
+// KILO-instruction literature points out, reproduced here via the trace's
+// ChainLoad marker. Scanned instructions are buffered and replayed to the
+// normal pipeline afterwards, so the architectural stream is unchanged.
+//
+// Enable it with Config.RunaheadDepth > 0 on any ooo configuration; the
+// ablation experiment "ablation-runahead" compares R10-64, R10-64+runahead
+// and the D-KIP.
+
+// runaheadState holds the replay buffer threading scanned instructions back
+// into the front end.
+type runaheadState struct {
+	replay     []isa.Instr
+	pos        int
+	lastSeq    uint64 // the blocking load already scanned for (one episode per miss)
+	episodes   uint64
+	prefetches uint64
+}
+
+// pullNext returns the next front-end instruction, consuming the runahead
+// replay buffer before advancing the generator.
+func (p *Processor) pullNext(g trace.Generator) isa.Instr {
+	ra := &p.ra
+	if ra.pos < len(ra.replay) {
+		in := ra.replay[ra.pos]
+		ra.pos++
+		if ra.pos == len(ra.replay) {
+			ra.replay = ra.replay[:0]
+			ra.pos = 0
+		}
+		return in
+	}
+	return g.Next()
+}
+
+// maybeRunahead triggers one runahead episode if the commit head is blocked
+// by an outstanding memory-level load. It scans ahead in the stream,
+// prefetching every regular load, and leaves the scanned instructions in the
+// replay buffer for ordinary execution afterwards.
+func (p *Processor) maybeRunahead(g trace.Generator) {
+	if p.cfg.RunaheadDepth <= 0 || p.commitSeq >= p.renameSeq {
+		return
+	}
+	head := p.win.Get(p.commitSeq)
+	if head.Done || head.In.Op != isa.Load || !head.Issued {
+		return
+	}
+	if head.MemLatency < p.cfg.Mem.MemLatency || p.cfg.Mem.MemLatency == 0 {
+		return // only off-chip misses trigger runahead
+	}
+	ra := &p.ra
+	if ra.lastSeq == head.Seq {
+		return // one episode per blocking miss
+	}
+	ra.lastSeq = head.Seq
+	ra.episodes++
+
+	// Scan ahead. Instructions already buffered (from a previous episode)
+	// are re-scanned only past the current replay position.
+	scanned := 0
+	for i := ra.pos; i < len(ra.replay) && scanned < p.cfg.RunaheadDepth; i++ {
+		p.runaheadPrefetch(ra.replay[i])
+		scanned++
+	}
+	for scanned < p.cfg.RunaheadDepth {
+		in := g.Next()
+		ra.replay = append(ra.replay, in)
+		p.runaheadPrefetch(in)
+		scanned++
+	}
+}
+
+// runaheadPrefetch issues the prefetch a runahead pass would generate for
+// one scanned instruction. Chain loads are invalid in runahead mode: their
+// address derives from the missing data.
+func (p *Processor) runaheadPrefetch(in isa.Instr) {
+	if in.Op != isa.Load || in.ChainLoad {
+		return
+	}
+	p.hier.Access(in.Addr)
+	p.ra.prefetches++
+}
+
+// RunaheadEpisodes reports how many runahead episodes were triggered.
+func (p *Processor) RunaheadEpisodes() uint64 { return p.ra.episodes }
+
+// RunaheadPrefetches reports how many prefetches runahead issued.
+func (p *Processor) RunaheadPrefetches() uint64 { return p.ra.prefetches }

@@ -1,0 +1,69 @@
+package ooo
+
+import (
+	"testing"
+
+	"dkip/internal/workload"
+)
+
+func runaheadIPC(t *testing.T, bench string, depth int) (ipc float64, episodes, prefetches uint64) {
+	t.Helper()
+	g := workload.MustNew(bench)
+	cfg := R10K64()
+	cfg.RunaheadDepth = depth
+	p := New(cfg)
+	p.Hierarchy().Warm(g.WarmRanges())
+	st := p.Run(g, 10000, 40000)
+	return st.IPC(), p.RunaheadEpisodes(), p.RunaheadPrefetches()
+}
+
+func TestRunaheadHelpsStreamingFP(t *testing.T) {
+	base, _, _ := runaheadIPC(t, "applu", 0)
+	ra, episodes, prefetches := runaheadIPC(t, "applu", 256)
+	if episodes == 0 || prefetches == 0 {
+		t.Fatalf("runahead never triggered: episodes=%d prefetches=%d", episodes, prefetches)
+	}
+	if ra < 1.3*base {
+		t.Errorf("runahead (%.3f) should clearly help the 64-entry core (%.3f) on streaming FP", ra, base)
+	}
+}
+
+func TestRunaheadCannotChasePointers(t *testing.T) {
+	base, _, _ := runaheadIPC(t, "mcf", 0)
+	ra, episodes, _ := runaheadIPC(t, "mcf", 256)
+	if episodes == 0 {
+		t.Fatal("runahead never triggered on mcf")
+	}
+	// Chain loads are unprefetchable; gains must be modest compared with
+	// the streaming case (mcf's misses are mostly chained).
+	if ra > 2.2*base {
+		t.Errorf("runahead gained %.2fx on mcf; pointer chains should bound it", ra/base)
+	}
+}
+
+func TestRunaheadInactiveOnCacheResident(t *testing.T) {
+	base, _, _ := runaheadIPC(t, "gzip", 0)
+	ra, _, prefetches := runaheadIPC(t, "gzip", 256)
+	if prefetches > 1000 {
+		t.Errorf("runahead issued %d prefetches on a cache-resident code", prefetches)
+	}
+	if r := ra / base; r < 0.95 || r > 1.05 {
+		t.Errorf("runahead should be neutral on gzip: %.3f vs %.3f", ra, base)
+	}
+}
+
+func TestRunaheadArchitecturallyTransparent(t *testing.T) {
+	// The replayed stream must commit exactly the same instruction count.
+	_, st := func() (*Processor, uint64) {
+		g := workload.MustNew("swim")
+		cfg := R10K64()
+		cfg.RunaheadDepth = 128
+		p := New(cfg)
+		p.Hierarchy().Warm(g.WarmRanges())
+		s := p.Run(g, 0, 20000)
+		return p, s.Committed
+	}()
+	if st < 20000 {
+		t.Errorf("committed %d with runahead enabled", st)
+	}
+}

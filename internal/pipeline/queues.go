@@ -1,0 +1,209 @@
+package pipeline
+
+import "container/heap"
+
+// seqHeap is a min-heap of sequence numbers: oldest-first selection.
+type seqHeap []uint64
+
+func (h seqHeap) Len() int            { return len(h) }
+func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *seqHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// IssueQueue models a reservation-station pool. In out-of-order mode any
+// ready instruction may issue, oldest first (wakeup/select over a CAM). In
+// in-order mode only the oldest instruction may issue — the cheap FIFO
+// scheduler evaluated for the Cache and Memory Processors in Figure 10.
+type IssueQueue struct {
+	id      QueueID
+	cap     int
+	inOrder bool
+
+	size  int
+	ready seqHeap  // out-of-order mode: ready, waiting to be selected
+	fifo  []uint64 // in-order mode: all resident instructions, oldest first
+	win   *Window
+}
+
+// NewIssueQueue builds a queue with the given identity and capacity. Insert
+// stamps each instruction's Queue field with the identity; an instruction
+// whose Queue no longer matches (it migrated to another structure) is treated
+// as stale and skipped by Pop.
+func NewIssueQueue(id QueueID, capacity int, inOrder bool, win *Window) *IssueQueue {
+	if capacity <= 0 {
+		panic("pipeline: issue queue capacity must be positive")
+	}
+	return &IssueQueue{id: id, cap: capacity, inOrder: inOrder, win: win}
+}
+
+// ID returns the queue's identity.
+func (q *IssueQueue) ID() QueueID { return q.id }
+
+// Cap returns the queue capacity.
+func (q *IssueQueue) Cap() int { return q.cap }
+
+// Len returns the number of resident (dispatched, un-issued) instructions.
+func (q *IssueQueue) Len() int { return q.size }
+
+// Full reports whether another instruction can be dispatched into the queue.
+func (q *IssueQueue) Full() bool { return q.size >= q.cap }
+
+// InOrder reports the scheduling policy.
+func (q *IssueQueue) InOrder() bool { return q.inOrder }
+
+// Insert dispatches an instruction into the queue, stamping its Queue field.
+// ready indicates all its sources are already available.
+func (q *IssueQueue) Insert(seq uint64, ready bool) {
+	if q.Full() {
+		panic("pipeline: insert into full issue queue")
+	}
+	q.win.Get(seq).Queue = q.id
+	q.size++
+	if q.inOrder {
+		// In-order Pop re-checks head readiness, so ready is implicit.
+		q.fifo = append(q.fifo, seq)
+		return
+	}
+	if ready {
+		heap.Push(&q.ready, seq)
+	}
+}
+
+// Wake notifies the queue that seq's operands became ready. Only meaningful
+// in out-of-order mode; the in-order queue re-checks its head on Pop.
+func (q *IssueQueue) Wake(seq uint64) {
+	if !q.inOrder {
+		heap.Push(&q.ready, seq)
+	}
+}
+
+// Pop selects the next instruction to issue, oldest-first among the eligible,
+// or returns false if none is eligible this cycle.
+func (q *IssueQueue) Pop() (uint64, bool) {
+	if q.inOrder {
+		for len(q.fifo) > 0 {
+			seq := q.fifo[0]
+			e := q.win.Get(seq)
+			if e.Issued || e.Seq != seq || e.Queue != q.id {
+				// Stale entry (migrated or already gone); its size
+				// contribution was released when it left.
+				q.fifo = q.fifo[1:]
+				continue
+			}
+			if e.Pending > 0 {
+				return 0, false // head not ready: in-order stall
+			}
+			q.fifo = q.fifo[1:]
+			q.size--
+			return seq, true
+		}
+		return 0, false
+	}
+	for q.ready.Len() > 0 {
+		seq := heap.Pop(&q.ready).(uint64)
+		e := q.win.Get(seq)
+		if e.Issued || e.Seq != seq || e.Queue != q.id || e.Pending > 0 {
+			continue // stale wakeup
+		}
+		q.size--
+		return seq, true
+	}
+	return 0, false
+}
+
+// RemoveWaiting releases the capacity of a resident instruction that is
+// migrating to another structure (SLIQ or LLIB). The caller must ensure the
+// instruction has not been woken and must re-stamp its Queue field (normally
+// by inserting it elsewhere); the stale reference left behind is skipped by
+// Pop.
+func (q *IssueQueue) RemoveWaiting() {
+	if q.size == 0 {
+		panic("pipeline: RemoveWaiting on empty queue")
+	}
+	q.size--
+}
+
+// Unpop reinserts an instruction whose issue was blocked by a structural
+// hazard (functional unit or memory port busy); it stays eligible.
+func (q *IssueQueue) Unpop(seq uint64) {
+	q.size++
+	if q.inOrder {
+		// Head of the FIFO again: prepend.
+		q.fifo = append(q.fifo, 0)
+		copy(q.fifo[1:], q.fifo)
+		q.fifo[0] = seq
+		return
+	}
+	heap.Push(&q.ready, seq)
+}
+
+// Reset empties the queue.
+func (q *IssueQueue) Reset() {
+	q.size = 0
+	q.ready = q.ready[:0]
+	q.fifo = q.fifo[:0]
+}
+
+// EventQueue schedules instruction completions by cycle.
+type EventQueue struct {
+	h eventHeap
+}
+
+type event struct {
+	cycle int64
+	seq   uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Schedule enqueues seq to complete at the given cycle.
+func (e *EventQueue) Schedule(cycle int64, seq uint64) {
+	heap.Push(&e.h, event{cycle, seq})
+}
+
+// PopDue removes and returns the next event due at or before cycle.
+func (e *EventQueue) PopDue(cycle int64) (uint64, bool) {
+	if len(e.h) == 0 || e.h[0].cycle > cycle {
+		return 0, false
+	}
+	ev := heap.Pop(&e.h).(event)
+	return ev.seq, true
+}
+
+// NextCycle returns the cycle of the earliest pending event.
+func (e *EventQueue) NextCycle() (int64, bool) {
+	if len(e.h) == 0 {
+		return 0, false
+	}
+	return e.h[0].cycle, true
+}
+
+// Len returns the number of pending events.
+func (e *EventQueue) Len() int { return len(e.h) }
+
+// Reset discards all pending events.
+func (e *EventQueue) Reset() { e.h = e.h[:0] }

@@ -1,0 +1,59 @@
+package pipeline
+
+import "dkip/internal/isa"
+
+// Scoreboard tracks, per architectural register, the most recent in-flight
+// producer. It is the rename stage's view of register readiness: a source is
+// ready when its last writer has completed (or no writer is in flight).
+type Scoreboard struct {
+	producer [isa.NumRegs]uint64
+	inflight [isa.NumRegs]bool
+}
+
+// NewScoreboard returns a scoreboard with every register ready.
+func NewScoreboard() *Scoreboard { return &Scoreboard{} }
+
+// Reset marks every register ready and clears producers.
+func (s *Scoreboard) Reset() {
+	*s = Scoreboard{}
+}
+
+// Lookup returns the in-flight producer of r, if any.
+func (s *Scoreboard) Lookup(r isa.Reg) (producer uint64, pending bool) {
+	if !r.Valid() {
+		return 0, false
+	}
+	return s.producer[r], s.inflight[r]
+}
+
+// Define records seq as the newest producer of r.
+func (s *Scoreboard) Define(r isa.Reg, seq uint64) {
+	if !r.Valid() {
+		return
+	}
+	s.producer[r] = seq
+	s.inflight[r] = true
+}
+
+// Complete marks r ready if seq is still its newest producer. A younger
+// redefinition supersedes the completion, exactly as renaming would.
+func (s *Scoreboard) Complete(r isa.Reg, seq uint64) {
+	if !r.Valid() {
+		return
+	}
+	if s.inflight[r] && s.producer[r] == seq {
+		s.inflight[r] = false
+	}
+}
+
+// PendingCount returns how many registers currently have in-flight
+// producers; used by tests and LLBV-style occupancy checks.
+func (s *Scoreboard) PendingCount() int {
+	n := 0
+	for _, f := range s.inflight {
+		if f {
+			n++
+		}
+	}
+	return n
+}

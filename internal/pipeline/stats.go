@@ -1,0 +1,162 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+)
+
+// HistBucket is the issue-latency histogram bucket width, in cycles.
+const HistBucket = 25
+
+// HistMax is the largest latency tracked with full resolution; larger values
+// land in the overflow bucket.
+const HistMax = 1200
+
+// Histogram counts decode→issue distances, reproducing Figure 3.
+type Histogram struct {
+	Buckets   [HistMax/HistBucket + 1]uint64
+	Total     uint64
+	SumCycles uint64
+}
+
+// Observe adds one distance sample (in cycles).
+func (h *Histogram) Observe(cycles int64) {
+	if cycles < 0 {
+		cycles = 0
+	}
+	i := int(cycles) / HistBucket
+	if i >= len(h.Buckets) {
+		i = len(h.Buckets) - 1
+	}
+	h.Buckets[i]++
+	h.Total++
+	h.SumCycles += uint64(cycles)
+}
+
+// Frac returns the fraction of samples in bucket i.
+func (h *Histogram) Frac(i int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.Buckets[i]) / float64(h.Total)
+}
+
+// FracRange returns the fraction of samples with distance in [lo, hi) cycles.
+func (h *Histogram) FracRange(lo, hi int) float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	var n uint64
+	for i := range h.Buckets {
+		b0 := i * HistBucket
+		if b0 >= lo && b0 < hi {
+			n += h.Buckets[i]
+		}
+	}
+	return float64(n) / float64(h.Total)
+}
+
+// Mean returns the mean distance in cycles.
+func (h *Histogram) Mean() float64 {
+	if h.Total == 0 {
+		return 0
+	}
+	return float64(h.SumCycles) / float64(h.Total)
+}
+
+// String renders non-empty buckets as "lo-hi:percent" pairs.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%.1f%%", i*HistBucket, 100*h.Frac(i))
+	}
+	return b.String()
+}
+
+// Stats aggregates the outcome of one simulation run.
+type Stats struct {
+	// Cycles is the simulated cycle count; Committed the retired
+	// instruction count. IPC() is their ratio.
+	Cycles    int64
+	Committed uint64
+	Fetched   uint64
+
+	// Branches and Mispredicts count committed conditional branches.
+	Branches    uint64
+	Mispredicts uint64
+
+	// Loads by satisfying level: [L1, L2, Memory].
+	LoadLevel [3]uint64
+
+	// Structural stall cycles observed at rename.
+	StallROBFull, StallIQFull, StallLSQFull int64
+
+	// IssueLat is the decode→issue distance histogram (Figure 3).
+	IssueLat Histogram
+
+	// Model-specific counters (D-KIP); zero elsewhere.
+
+	// CPCommitted counts instructions retired directly by the Cache
+	// Processor; MPCommitted those processed via the LLIB and Memory
+	// Processor.
+	CPCommitted, MPCommitted uint64
+	// MaxLLIBInstrs and MaxLLIBRegs track the high-water occupancy of
+	// each LLIB and its register file (Figures 13/14): [int, fp].
+	MaxLLIBInstrs, MaxLLIBRegs [2]int
+	// LLIBFullStalls counts Analyze stalls due to a full LLIB.
+	LLIBFullStalls int64
+	// AnalyzeWaitStalls counts Analyze stalls waiting for a short-latency
+	// instruction to write back (§3.2 reports ~0.7% IPC impact).
+	AnalyzeWaitStalls int64
+	// Checkpoints counts checkpoints taken; Recoveries counts rollbacks.
+	Checkpoints, Recoveries uint64
+	// LLRFBankConflicts counts one-cycle LLRF read stalls.
+	LLRFBankConflicts int64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per committed branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.Branches)
+}
+
+// MemoryLoadFrac returns the fraction of loads satisfied by main memory.
+func (s *Stats) MemoryLoadFrac() float64 {
+	total := s.LoadLevel[0] + s.LoadLevel[1] + s.LoadLevel[2]
+	if total == 0 {
+		return 0
+	}
+	return float64(s.LoadLevel[2]) / float64(total)
+}
+
+// CPFraction returns the fraction of committed instructions the Cache
+// Processor retired directly (D-KIP only; §4.4 reports 67–77% for SpecFP).
+func (s *Stats) CPFraction() float64 {
+	total := s.CPCommitted + s.MPCommitted
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CPCommitted) / float64(total)
+}
+
+// String summarizes the run for logs and examples.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d committed=%d IPC=%.3f mispredict/branch=%.3f memLoads=%.1f%%",
+		s.Cycles, s.Committed, s.IPC(), s.MispredictRate(), 100*s.MemoryLoadFrac())
+}

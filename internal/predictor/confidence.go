@@ -1,0 +1,69 @@
+package predictor
+
+// Confidence is a JRS-style branch confidence estimator (Jacobsen, Rotenberg
+// & Smith, MICRO 1996): a table of resetting counters indexed by branch PC.
+// A correct prediction increments the branch's counter (saturating); a
+// misprediction resets it. A branch is high-confidence when its counter has
+// reached the threshold.
+//
+// The D-KIP uses it (optionally) to place checkpoints: §2.1 notes that loads
+// driving low-confidence branches determine performance, and the
+// checkpointing literature the paper builds on (Akkary et al. [12]) takes
+// checkpoints on low-confidence branches to shorten recovery replay.
+type Confidence struct {
+	table     []uint8
+	mask      uint64
+	threshold uint8
+	ceiling   uint8
+}
+
+// NewConfidence builds an estimator with the given table size (rounded up to
+// a power of two, minimum 16) and confidence threshold (counter value at
+// which a branch becomes high-confidence; default 8 when zero).
+func NewConfidence(entries int, threshold uint8) *Confidence {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	if threshold == 0 {
+		threshold = 8
+	}
+	ceiling := threshold
+	if ceiling < 15 {
+		ceiling = 15
+	}
+	return &Confidence{
+		table:     make([]uint8, n),
+		mask:      uint64(n - 1),
+		threshold: threshold,
+		ceiling:   ceiling,
+	}
+}
+
+func (c *Confidence) index(pc uint64) uint64 { return (pc >> 2) & c.mask }
+
+// High reports whether the branch at pc currently predicts with high
+// confidence.
+func (c *Confidence) High(pc uint64) bool {
+	return c.table[c.index(pc)] >= c.threshold
+}
+
+// Update trains the estimator with whether the last prediction for pc was
+// correct.
+func (c *Confidence) Update(pc uint64, correct bool) {
+	i := c.index(pc)
+	if !correct {
+		c.table[i] = 0
+		return
+	}
+	if c.table[i] < c.ceiling {
+		c.table[i]++
+	}
+}
+
+// Reset clears all counters (everything becomes low-confidence).
+func (c *Confidence) Reset() {
+	for i := range c.table {
+		c.table[i] = 0
+	}
+}

@@ -1,0 +1,60 @@
+package predictor
+
+import "testing"
+
+func TestConfidenceStartsLow(t *testing.T) {
+	c := NewConfidence(256, 8)
+	if c.High(0x1000) {
+		t.Error("untrained branch should be low confidence")
+	}
+}
+
+func TestConfidenceBuildsWithCorrectPredictions(t *testing.T) {
+	c := NewConfidence(256, 8)
+	for i := 0; i < 7; i++ {
+		c.Update(0x1000, true)
+	}
+	if c.High(0x1000) {
+		t.Error("confidence reached threshold one update early")
+	}
+	c.Update(0x1000, true)
+	if !c.High(0x1000) {
+		t.Error("confidence not reached after 8 correct predictions")
+	}
+}
+
+func TestConfidenceResetsOnMispredict(t *testing.T) {
+	c := NewConfidence(256, 8)
+	for i := 0; i < 20; i++ {
+		c.Update(0x1000, true)
+	}
+	c.Update(0x1000, false)
+	if c.High(0x1000) {
+		t.Error("a misprediction must reset confidence")
+	}
+}
+
+func TestConfidenceSeparatesBranches(t *testing.T) {
+	c := NewConfidence(256, 4)
+	for i := 0; i < 10; i++ {
+		c.Update(0x1000, true)
+		c.Update(0x1004, false)
+	}
+	if !c.High(0x1000) || c.High(0x1004) {
+		t.Error("confidence confused two branches")
+	}
+}
+
+func TestConfidenceDefaults(t *testing.T) {
+	c := NewConfidence(0, 0)
+	for i := 0; i < 8; i++ {
+		c.Update(0x10, true)
+	}
+	if !c.High(0x10) {
+		t.Error("default threshold should be 8")
+	}
+	c.Reset()
+	if c.High(0x10) {
+		t.Error("reset should clear confidence")
+	}
+}

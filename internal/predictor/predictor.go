@@ -1,0 +1,217 @@
+// Package predictor implements the branch predictors used by the processor
+// models: the perceptron predictor of Jiménez & Lin (the paper's front-end
+// predictor, Table 2), plus gshare, bimodal, and static predictors used as
+// simpler baselines and in tests.
+package predictor
+
+// Predictor is a direction predictor for conditional branches.
+//
+// Predict returns the predicted direction for the branch at pc. Update trains
+// the predictor with the actual outcome; implementations assume Update is
+// called once per prediction, in program order (trace-driven simulation
+// resolves branches in order).
+type Predictor interface {
+	Predict(pc uint64) bool
+	Update(pc uint64, taken bool)
+	// Name identifies the predictor in reports.
+	Name() string
+	// Reset restores the initial (untrained) state.
+	Reset()
+}
+
+// Stats wraps a Predictor and counts accuracy. It implements Predictor.
+type Stats struct {
+	P          Predictor
+	Lookups    uint64
+	Mispredict uint64
+
+	pending  bool
+	lastPred bool
+}
+
+// NewStats returns a stats-counting wrapper around p.
+func NewStats(p Predictor) *Stats { return &Stats{P: p} }
+
+// Predict records and returns the wrapped predictor's prediction.
+func (s *Stats) Predict(pc uint64) bool {
+	pred := s.P.Predict(pc)
+	s.lastPred = pred
+	s.pending = true
+	return pred
+}
+
+// Update trains the wrapped predictor and accounts accuracy against the
+// prediction most recently returned by Predict.
+func (s *Stats) Update(pc uint64, taken bool) {
+	if s.pending {
+		s.Lookups++
+		if s.lastPred != taken {
+			s.Mispredict++
+		}
+		s.pending = false
+	}
+	s.P.Update(pc, taken)
+}
+
+// Name returns the wrapped predictor's name.
+func (s *Stats) Name() string { return s.P.Name() }
+
+// Reset clears both the wrapped predictor and the counters.
+func (s *Stats) Reset() {
+	s.P.Reset()
+	s.Lookups = 0
+	s.Mispredict = 0
+	s.pending = false
+}
+
+// Accuracy returns the fraction of correct predictions, or 1 if none made.
+func (s *Stats) Accuracy() float64 {
+	if s.Lookups == 0 {
+		return 1
+	}
+	return 1 - float64(s.Mispredict)/float64(s.Lookups)
+}
+
+// Static predicts a fixed direction.
+type Static struct {
+	// Taken is the direction always predicted.
+	Taken bool
+}
+
+// Predict returns the fixed direction.
+func (s *Static) Predict(uint64) bool { return s.Taken }
+
+// Update is a no-op for the static predictor.
+func (s *Static) Update(uint64, bool) {}
+
+// Name returns "static-taken" or "static-nottaken".
+func (s *Static) Name() string {
+	if s.Taken {
+		return "static-taken"
+	}
+	return "static-nottaken"
+}
+
+// Reset is a no-op for the static predictor.
+func (s *Static) Reset() {}
+
+// Bimodal is a classic table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	table []uint8
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with the given number of counters
+// (rounded up to a power of two, minimum 16).
+func NewBimodal(entries int) *Bimodal {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	b := &Bimodal{table: make([]uint8, n), mask: uint64(n - 1)}
+	b.Reset()
+	return b
+}
+
+// Predict returns the counter's direction for pc.
+func (b *Bimodal) Predict(pc uint64) bool {
+	return b.table[(pc>>2)&b.mask] >= 2
+}
+
+// Update trains the 2-bit counter for pc.
+func (b *Bimodal) Update(pc uint64, taken bool) {
+	i := (pc >> 2) & b.mask
+	c := b.table[i]
+	if taken {
+		if c < 3 {
+			b.table[i] = c + 1
+		}
+	} else if c > 0 {
+		b.table[i] = c - 1
+	}
+}
+
+// Name returns "bimodal".
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Reset initializes every counter to weakly taken.
+func (b *Bimodal) Reset() {
+	for i := range b.table {
+		b.table[i] = 2
+	}
+}
+
+// Gshare is a global-history predictor: the PC is XORed with a global branch
+// history register to index a table of 2-bit counters.
+type Gshare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+	bits    uint
+}
+
+// NewGshare builds a gshare predictor with the given table size (rounded up
+// to a power of two, minimum 16) and history length min(log2(entries), 16).
+func NewGshare(entries int) *Gshare {
+	n := 16
+	for n < entries {
+		n <<= 1
+	}
+	bits := uint(log2(n))
+	if bits > 16 {
+		bits = 16
+	}
+	g := &Gshare{table: make([]uint8, n), mask: uint64(n - 1), bits: bits}
+	g.Reset()
+	return g
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+func (g *Gshare) index(pc uint64) uint64 {
+	return ((pc >> 2) ^ g.history) & g.mask
+}
+
+// Predict returns the predicted direction for pc under the current history.
+func (g *Gshare) Predict(pc uint64) bool {
+	return g.table[g.index(pc)] >= 2
+}
+
+// Update trains the counter and shifts the outcome into the history.
+func (g *Gshare) Update(pc uint64, taken bool) {
+	i := g.index(pc)
+	c := g.table[i]
+	if taken {
+		if c < 3 {
+			g.table[i] = c + 1
+		}
+	} else if c > 0 {
+		g.table[i] = c - 1
+	}
+	g.history = ((g.history << 1) | b2u(taken)) & ((1 << g.bits) - 1)
+}
+
+// Name returns "gshare".
+func (g *Gshare) Name() string { return "gshare" }
+
+// Reset clears history and initializes counters to weakly taken.
+func (g *Gshare) Reset() {
+	for i := range g.table {
+		g.table[i] = 2
+	}
+	g.history = 0
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

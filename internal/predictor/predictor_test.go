@@ -1,0 +1,189 @@
+package predictor
+
+import (
+	"testing"
+
+	"dkip/internal/xrand"
+)
+
+// train runs a predictor over an outcome stream for one branch PC and
+// returns its accuracy over the second half (after warmup).
+func train(p Predictor, pc uint64, outcomes []bool) float64 {
+	correct, counted := 0, 0
+	for i, taken := range outcomes {
+		pred := p.Predict(pc)
+		p.Update(pc, taken)
+		if i >= len(outcomes)/2 {
+			counted++
+			if pred == taken {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(counted)
+}
+
+func loopPattern(period, n int) []bool {
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = (i % period) != period-1 // taken except every period-th
+	}
+	return out
+}
+
+func TestStatic(t *testing.T) {
+	st := &Static{Taken: true}
+	if !st.Predict(0) {
+		t.Error("static-taken predicted not-taken")
+	}
+	st.Update(0, false) // no-op
+	if !st.Predict(0) {
+		t.Error("static must not learn")
+	}
+	if st.Name() != "static-taken" {
+		t.Errorf("name %q", st.Name())
+	}
+	nt := &Static{}
+	if nt.Predict(0) || nt.Name() != "static-nottaken" {
+		t.Error("static-nottaken wrong")
+	}
+}
+
+func TestBimodalLearnsBias(t *testing.T) {
+	b := NewBimodal(1024)
+	outcomes := make([]bool, 400)
+	for i := range outcomes {
+		outcomes[i] = true
+	}
+	if acc := train(b, 0x1000, outcomes); acc < 0.99 {
+		t.Errorf("bimodal on always-taken: accuracy %.2f", acc)
+	}
+}
+
+func TestBimodalSeparatesPCs(t *testing.T) {
+	b := NewBimodal(1024)
+	// Two PCs indexing different counters (the table is indexed by pc>>2).
+	for i := 0; i < 200; i++ {
+		b.Update(0x1000, true)
+		b.Update(0x1004, false)
+	}
+	if !b.Predict(0x1000) || b.Predict(0x1004) {
+		t.Error("bimodal confused two branches")
+	}
+}
+
+func TestGshareLearnsAlternation(t *testing.T) {
+	g := NewGshare(4096)
+	outcomes := make([]bool, 600)
+	for i := range outcomes {
+		outcomes[i] = i%2 == 0
+	}
+	if acc := train(g, 0x1000, outcomes); acc < 0.95 {
+		t.Errorf("gshare on alternating pattern: accuracy %.2f", acc)
+	}
+	// Bimodal cannot learn alternation (counters oscillate).
+	b := NewBimodal(4096)
+	if acc := train(b, 0x1000, outcomes); acc > 0.7 {
+		t.Errorf("bimodal unexpectedly learned alternation: %.2f", acc)
+	}
+}
+
+func TestPerceptronLearnsLoop(t *testing.T) {
+	p := NewPerceptron(1024, 24)
+	outcomes := loopPattern(8, 2000)
+	if acc := train(p, 0x4000, outcomes); acc < 0.95 {
+		t.Errorf("perceptron on period-8 loop: accuracy %.2f", acc)
+	}
+}
+
+func TestPerceptronBeatsBimodalOnLoops(t *testing.T) {
+	outcomes := loopPattern(6, 3000)
+	pa := train(NewPerceptron(1024, 24), 0x4000, outcomes)
+	ba := train(NewBimodal(1024), 0x4000, outcomes)
+	if pa <= ba {
+		t.Errorf("perceptron (%.2f) should beat bimodal (%.2f) on loop exits", pa, ba)
+	}
+}
+
+func TestPerceptronHistoryLength(t *testing.T) {
+	p := NewPerceptron(64, 16)
+	if p.HistoryLength() != 16 {
+		t.Errorf("history length %d", p.HistoryLength())
+	}
+	d := NewPerceptron(64, 0)
+	if d.HistoryLength() <= 0 {
+		t.Error("default history length must be positive")
+	}
+}
+
+func TestPerceptronWeightClamp(t *testing.T) {
+	p := NewPerceptron(16, 8)
+	// Train far beyond saturation; weights must stay bounded (int16 range
+	// check is implicit: overflow would flip predictions).
+	for i := 0; i < 100000; i++ {
+		p.Predict(0x10)
+		p.Update(0x10, true)
+	}
+	if !p.Predict(0x10) {
+		t.Error("saturated perceptron should predict taken")
+	}
+}
+
+func TestResetRestoresInitialState(t *testing.T) {
+	for _, p := range []Predictor{NewBimodal(256), NewGshare(256), NewPerceptron(256, 12)} {
+		first := p.Predict(0x123)
+		for i := 0; i < 100; i++ {
+			p.Update(0x123, !first)
+		}
+		p.Reset()
+		if p.Predict(0x123) != first {
+			t.Errorf("%s: reset did not restore initial prediction", p.Name())
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := NewStats(&Static{Taken: true})
+	s.Predict(0)
+	s.Update(0, true) // correct
+	s.Predict(0)
+	s.Update(0, false) // wrong
+	if s.Lookups != 2 || s.Mispredict != 1 {
+		t.Errorf("lookups=%d mispredicts=%d", s.Lookups, s.Mispredict)
+	}
+	if s.Accuracy() != 0.5 {
+		t.Errorf("accuracy = %v", s.Accuracy())
+	}
+	// Update without a preceding Predict must not count.
+	s.Update(0, true)
+	if s.Lookups != 2 {
+		t.Error("update without predict counted")
+	}
+	s.Reset()
+	if s.Lookups != 0 || s.Accuracy() != 1 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestPredictorsOnRandomStream(t *testing.T) {
+	// On a fair coin no predictor should stray far from 50%.
+	rng := xrand.New(99)
+	outcomes := make([]bool, 4000)
+	for i := range outcomes {
+		outcomes[i] = rng.Bool(0.5)
+	}
+	for _, p := range []Predictor{NewBimodal(1024), NewGshare(1024), NewPerceptron(1024, 24)} {
+		acc := train(p, 0x777, outcomes)
+		if acc < 0.35 || acc > 0.65 {
+			t.Errorf("%s on random stream: accuracy %.2f", p.Name(), acc)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewBimodal(16).Name() != "bimodal" ||
+		NewGshare(16).Name() != "gshare" ||
+		NewPerceptron(16, 8).Name() != "perceptron" {
+		t.Error("predictor names wrong")
+	}
+}

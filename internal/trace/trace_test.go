@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"testing"
+
+	"dkip/internal/isa"
+)
+
+func prog() []isa.Instr {
+	return []isa.Instr{
+		{Op: isa.IntALU, Dest: isa.IntReg(1), Src1: isa.IntReg(2)},
+		{Op: isa.Load, Dest: isa.IntReg(3), Src1: isa.IntReg(1), Addr: 0x100, ChainLoad: true},
+		{Op: isa.Branch, Src1: isa.IntReg(3), Taken: true},
+	}
+}
+
+func TestReplayLoops(t *testing.T) {
+	r := NewReplay("p", prog())
+	if r.Name() != "p" {
+		t.Errorf("name %q", r.Name())
+	}
+	for round := 0; round < 3; round++ {
+		for i, want := range prog() {
+			got := r.Next()
+			if got.Op != want.Op {
+				t.Fatalf("round %d instr %d: op %v, want %v", round, i, got.Op, want.Op)
+			}
+		}
+	}
+}
+
+func TestReplayReset(t *testing.T) {
+	r := NewReplay("p", prog())
+	r.Next()
+	r.Reset()
+	if got := r.Next(); got.Op != isa.IntALU {
+		t.Errorf("after reset first op = %v", got.Op)
+	}
+}
+
+func TestReplayEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty replay should panic")
+		}
+	}()
+	NewReplay("e", nil)
+}
+
+func TestTake(t *testing.T) {
+	r := NewReplay("p", prog())
+	got := Take(r, 7)
+	if len(got) != 7 {
+		t.Fatalf("took %d", len(got))
+	}
+	if got[3].Op != prog()[0].Op {
+		t.Error("wraparound wrong")
+	}
+}
+
+func TestMix(t *testing.T) {
+	var m Mix
+	for _, in := range prog() {
+		m.Observe(in)
+	}
+	if m.Total != 3 {
+		t.Fatalf("total %d", m.Total)
+	}
+	if m.Frac(isa.Load) != 1.0/3 {
+		t.Errorf("load frac %v", m.Frac(isa.Load))
+	}
+	if m.ChainLoads != 1 {
+		t.Errorf("chain loads %d", m.ChainLoads)
+	}
+	if m.TakenBranches != 1 {
+		t.Errorf("taken branches %d", m.TakenBranches)
+	}
+	if m.String() == "" {
+		t.Error("empty mix string")
+	}
+}
+
+func TestMeasureMix(t *testing.T) {
+	m := MeasureMix(NewReplay("p", prog()), 300)
+	if m.Total != 300 {
+		t.Fatalf("total %d", m.Total)
+	}
+	if m.Count[isa.Load] != 100 {
+		t.Errorf("load count %d, want 100", m.Count[isa.Load])
+	}
+}
+
+func TestMixFracEmpty(t *testing.T) {
+	var m Mix
+	if m.Frac(isa.Load) != 0 {
+		t.Error("empty mix frac should be 0")
+	}
+}

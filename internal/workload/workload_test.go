@@ -1,0 +1,230 @@
+package workload
+
+import (
+	"testing"
+
+	"dkip/internal/isa"
+	"dkip/internal/trace"
+)
+
+func TestAllProfilesValidate(t *testing.T) {
+	names := Names()
+	if len(names) != 26 {
+		t.Fatalf("expected 26 benchmarks, got %d", len(names))
+	}
+	for _, n := range names {
+		p, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("lookup %q failed", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+		if p.Name != n {
+			t.Errorf("profile %q has Name %q", n, p.Name)
+		}
+	}
+}
+
+func TestSuiteSplit(t *testing.T) {
+	if got := len(SuiteNames(SpecINT)); got != 12 {
+		t.Errorf("SpecINT has %d benchmarks, want 12", got)
+	}
+	if got := len(SuiteNames(SpecFP)); got != 14 {
+		t.Errorf("SpecFP has %d benchmarks, want 14", got)
+	}
+	if SpecINT.String() != "SpecINT" || SpecFP.String() != "SpecFP" {
+		t.Error("suite names wrong")
+	}
+}
+
+func TestUnknownBenchmark(t *testing.T) {
+	if _, err := New("nonesuch"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew("mcf")
+	b := MustNew("mcf")
+	for i := 0; i < 20000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("instruction %d diverged: %v vs %v", i, &x, &y)
+		}
+	}
+}
+
+func TestResetReproduces(t *testing.T) {
+	g := MustNew("swim")
+	first := trace.Take(g, 5000)
+	g.Reset()
+	second := trace.Take(g, 5000)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("instruction %d differs after reset", i)
+		}
+	}
+	if g.Emitted() != 5000 {
+		t.Errorf("emitted = %d", g.Emitted())
+	}
+}
+
+func TestInstructionWellFormed(t *testing.T) {
+	for _, name := range Names() {
+		g := MustNew(name)
+		for i := 0; i < 20000; i++ {
+			in := g.Next()
+			if !in.Op.Valid() {
+				t.Fatalf("%s: invalid op %v", name, in.Op)
+			}
+			if in.Op.HasDest() && !in.Dest.Valid() {
+				t.Fatalf("%s: %v without destination", name, in.Op)
+			}
+			if !in.Op.HasDest() && in.Dest.Valid() {
+				t.Fatalf("%s: %v with destination", name, in.Op)
+			}
+			if in.Op.IsMem() && in.Addr == 0 {
+				t.Fatalf("%s: memory op without address", name)
+			}
+			if in.Op == isa.Load && !in.Src1.Valid() {
+				t.Fatalf("%s: load without base register", name)
+			}
+			if in.PC == 0 {
+				t.Fatalf("%s: zero PC", name)
+			}
+		}
+	}
+}
+
+func TestMixMatchesProfile(t *testing.T) {
+	for _, name := range []string{"gcc", "swim", "mcf", "mesa"} {
+		g := MustNew(name)
+		p := g.Profile()
+		m := trace.MeasureMix(g, 200000)
+		check := func(what string, got, want, tol float64) {
+			if got < want-tol || got > want+tol {
+				t.Errorf("%s: %s fraction %.3f, profile %.3f", name, what, got, want)
+			}
+		}
+		check("load", m.Frac(isa.Load), p.LoadFrac, 0.03)
+		check("store", m.Frac(isa.Store), p.StoreFrac, 0.03)
+		check("branch", m.Frac(isa.Branch), p.BranchFrac, 0.04)
+	}
+}
+
+func TestChaseChainsAreLinked(t *testing.T) {
+	g := MustNew("mcf")
+	var prevChaseDest isa.Reg = isa.RegNone
+	linked, heads := 0, 0
+	for i := 0; i < 300000; i++ {
+		in := g.Next()
+		if in.Op == isa.Load && in.ChainLoad {
+			if in.Src1 == prevChaseDest {
+				linked++
+			} else {
+				heads++
+			}
+			prevChaseDest = in.Dest
+		}
+	}
+	if linked == 0 {
+		t.Fatal("no linked chase loads observed")
+	}
+	if heads == 0 {
+		t.Fatal("no chain heads observed — chains never break")
+	}
+	// mcf's mean chain length is 10: hops should dominate heads.
+	if ratio := float64(linked) / float64(heads); ratio < 4 || ratio > 25 {
+		t.Errorf("hop/head ratio %.1f inconsistent with chain length 10", ratio)
+	}
+}
+
+func TestAddressesWithinRegions(t *testing.T) {
+	g := MustNew("applu")
+	p := g.Profile()
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if !in.Op.IsMem() {
+			continue
+		}
+		inData := in.Addr >= dataBase && in.Addr < dataBase+p.FootprintBytes
+		inHot := in.Addr >= hotBase && in.Addr < hotBase+p.HotBytes
+		if !inData && !inHot {
+			t.Fatalf("address %#x outside data and hot regions", in.Addr)
+		}
+	}
+}
+
+func TestWarmRanges(t *testing.T) {
+	g := MustNew("swim")
+	r := g.WarmRanges()
+	if len(r) != 2 {
+		t.Fatalf("expected 2 warm ranges, got %d", len(r))
+	}
+	if r[0][0] != dataBase || r[0][1] != g.Profile().FootprintBytes {
+		t.Error("first range should be the data footprint")
+	}
+	if r[1][0] != hotBase || r[1][1] != g.Profile().HotBytes {
+		t.Error("second range should be the hot region")
+	}
+}
+
+func TestBranchOutcomeConsistency(t *testing.T) {
+	// Loop branches must produce their configured periodic behaviour:
+	// over a long window, taken fraction of branches should be high for
+	// FP codes (long loops) and moderate for INT codes.
+	g := MustNew("applu")
+	m := trace.MeasureMix(g, 200000)
+	frac := float64(m.TakenBranches) / float64(m.Count[isa.Branch])
+	if frac < 0.6 || frac > 0.99 {
+		t.Errorf("applu taken-branch fraction %.2f out of expected range", frac)
+	}
+}
+
+func TestRegularBasesAlwaysReady(t *testing.T) {
+	// Stream/stride/hot accesses must use the reserved base register so
+	// their addresses never depend on loaded data; only chase loads may
+	// use a computed base.
+	g := MustNew("swim")
+	for i := 0; i < 100000; i++ {
+		in := g.Next()
+		if in.Op == isa.Load && !in.ChainLoad && in.Src1 != baseReg {
+			t.Fatalf("non-chase load with computed base %v", in.Src1)
+		}
+		if in.Op.HasDest() && in.Dest == baseReg {
+			t.Fatalf("instruction defines the reserved base register")
+		}
+	}
+}
+
+func TestProfileValidationErrors(t *testing.T) {
+	good, _ := Lookup("swim")
+	cases := []func(*Profile){
+		func(p *Profile) { p.Name = "" },
+		func(p *Profile) { p.LoadFrac = 0.95 },
+		func(p *Profile) { p.IntALUW, p.IntMulW, p.FPAddW, p.FPMulW, p.FPDivW = 0, 0, 0, 0, 0 },
+		func(p *Profile) { p.PatStream, p.PatStride, p.PatHot, p.PatChase = 0, 0, 0, 0 },
+		func(p *Profile) { p.FootprintBytes = 16 },
+		func(p *Profile) { p.MeanDepDist = 0.5 },
+		func(p *Profile) { p.ChaseChainLen = 0 },
+		func(p *Profile) { p.NumBlocks = 1 },
+		func(p *Profile) { p.BranchFrac = 0.5 },
+		func(p *Profile) { p.BrBias = 0.3 },
+	}
+	for i, mod := range cases {
+		p := good
+		mod(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNewFromProfileRejectsInvalid(t *testing.T) {
+	p, _ := Lookup("swim")
+	p.ChaseChainLen = 0
+	if _, err := NewFromProfile(p); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}
