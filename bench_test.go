@@ -1,12 +1,18 @@
 // Package dkip's root benchmark harness regenerates every table and figure
 // of the paper's evaluation as a testing.B benchmark, one per artifact (see
-// DESIGN.md's per-experiment index). Run all of them with
+// the registry in internal/experiments). Run all of them with
 //
 //	go test -bench=. -benchmem
 //
 // Each benchmark executes the corresponding experiment at a reduced scale
 // (use cmd/experiments for full-scale runs), reports headline numbers as
 // custom metrics, and logs the full table once.
+//
+// Every experiment goes through the process-wide shared sim.Runner, so runs
+// duplicated across figures (and across benchmark iterations) simulate once
+// per `go test -bench` process; the sims/op metric reports how many real
+// simulations each iteration cost after deduplication. Raw, uncached
+// simulator speed is measured separately by BenchmarkSimulatorRaw.
 package dkip
 
 import (
@@ -14,7 +20,10 @@ import (
 	"sync"
 	"testing"
 
+	"dkip/internal/core"
 	"dkip/internal/experiments"
+	"dkip/internal/ooo"
+	"dkip/internal/sim"
 )
 
 // benchScale keeps every -bench=. sweep to seconds per experiment.
@@ -27,9 +36,11 @@ func benchScale() experiments.Scale {
 var logOnce sync.Map
 
 // runExperiment executes one registered experiment per benchmark iteration
-// and reports cells of its last row as metrics.
+// through the shared Runner and reports cells of its last row as metrics,
+// plus the number of real (post-dedup) simulations per iteration.
 func runExperiment(b *testing.B, id string, metrics func(t *experiments.Table, b *testing.B)) {
 	b.Helper()
+	before := experiments.Runner().Metrics().Simulated
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -38,6 +49,8 @@ func runExperiment(b *testing.B, id string, metrics func(t *experiments.Table, b
 			b.Fatal(err)
 		}
 	}
+	simulated := experiments.Runner().Metrics().Simulated - before
+	b.ReportMetric(float64(simulated)/float64(b.N), "sims/op")
 	if _, dup := logOnce.LoadOrStore(id, true); !dup {
 		b.Logf("\n%s", t.String())
 	}
@@ -145,7 +158,7 @@ func BenchmarkSection44CPShare(b *testing.B) {
 	runExperiment(b, "sec44", nil)
 }
 
-// ---- ablation benches for the design choices DESIGN.md calls out ----
+// ---- ablation benches for the paper's design choices ----
 
 // BenchmarkAblationAnalyzeStall quantifies the Analyze writeback-wait stall
 // (§3.2: ~0.7% IPC).
@@ -196,4 +209,54 @@ func BenchmarkAblationMSHR(b *testing.B) {
 // decoupled window on both the small baseline and the D-KIP.
 func BenchmarkAblationPrefetch(b *testing.B) {
 	runExperiment(b, "ablation-prefetch", nil)
+}
+
+// ---- run-orchestration layer benches ----
+
+// BenchmarkSimulatorRaw measures uncached simulator throughput: every
+// iteration re-simulates the default D-KIP and the R10-64 baseline on one
+// SpecFP and one SpecINT workload (the memo cache is disabled).
+func BenchmarkSimulatorRaw(b *testing.B) {
+	r := sim.NewRunner(sim.NoMemo())
+	scale := benchScale()
+	specs := []sim.RunSpec{
+		sim.DKIPSpec("swim", core.Config{}, scale.Warmup, scale.Measure),
+		sim.OOOSpec("mcf", ooo.R10K64(), scale.Warmup, scale.Measure),
+	}
+	var instrs uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range specs {
+			res, err := r.Run(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			instrs += res.Stats.Committed
+		}
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkRunnerCacheHit measures the memoized fast path: after the first
+// iteration every Run is served as a deep-copied cache hit.
+func BenchmarkRunnerCacheHit(b *testing.B) {
+	r := sim.NewRunner()
+	scale := benchScale()
+	spec := sim.DKIPSpec("swim", core.Config{}, scale.Warmup, scale.Measure)
+	if _, err := r.Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := r.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+	if m := r.Metrics(); m.Simulated != 1 {
+		b.Fatalf("simulated %d times, want 1", m.Simulated)
+	}
 }

@@ -8,7 +8,12 @@
 //	dkipsim -arch kilo -bench applu -l2 2097152
 //	dkipsim -arch limit -window 4096 -bench art
 //	dkipsim -arch dkip -cp ino -mp ooo -mpq 40 -bench equake
+//	dkipsim -arch dkip -bench swim -json
 //	dkipsim -list
+//
+// The flags assemble one sim.RunSpec which executes through the same
+// run-orchestration layer as cmd/experiments; -json prints the structured
+// sim.Result record instead of the human-readable summary.
 package main
 
 import (
@@ -16,12 +21,14 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"dkip/internal/core"
 	"dkip/internal/kilo"
 	"dkip/internal/mem"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
+	"dkip/internal/sim"
 	"dkip/internal/trace"
 	"dkip/internal/workload"
 )
@@ -42,6 +49,7 @@ func main() {
 		llib      = flag.Int("llib", 2048, "D-KIP LLIB entries (each)")
 		list      = flag.Bool("list", false, "list benchmarks and exit")
 		verbose   = flag.Bool("v", false, "print extended statistics")
+		jsonOut   = flag.Bool("json", false, "print the structured sim.Result record as JSON")
 		traceFile = flag.String("trace", "", "drive the simulation from a binary trace file instead of -bench")
 	)
 	flag.Parse()
@@ -55,79 +63,83 @@ func main() {
 		return
 	}
 
-	var g trace.Generator
-	var warmRanges [][2]uint64
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		g, err = trace.Read(f)
-		f.Close()
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	} else {
-		wg, err := workload.New(*bench)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		g = wg
-		warmRanges = wg.WarmRanges()
-	}
-
 	mc := mem.DefaultConfig()
 	mc.L2Size = *l2
 	mc.MemLatency = *memLat
 
-	var st *pipeline.Stats
-	var name string
-	runOOO := func(cfg ooo.Config) {
+	// Assemble the RunSpec for the selected architecture.
+	var spec sim.RunSpec
+	withMem := func(cfg ooo.Config) sim.RunSpec {
 		cfg.Mem = mc
-		p := ooo.New(cfg)
-		if warmRanges != nil {
-			p.Hierarchy().Warm(warmRanges)
-		}
-		st = p.Run(g, *warmup, *n)
-		name = cfg.Name
+		return sim.OOOSpec(*bench, cfg, *warmup, *n)
 	}
 	switch strings.ToLower(*arch) {
 	case "r10-64":
-		runOOO(ooo.R10K64())
+		spec = withMem(ooo.R10K64())
 	case "r10-256":
-		runOOO(ooo.R10K256())
+		spec = withMem(ooo.R10K256())
 	case "r10-768":
-		runOOO(ooo.R10K768())
+		spec = withMem(ooo.R10K768())
 	case "kilo":
-		runOOO(kilo.Config1024())
+		spec = withMem(kilo.Config1024())
 	case "limit":
-		runOOO(ooo.LimitCore(*window, mc))
+		spec = withMem(ooo.LimitCore(*window, mc))
 	case "dkip":
-		cfg := core.Config{
+		spec = sim.DKIPSpec(*bench, core.Config{
 			CPInOrder: *cpPol == "ino",
 			MPInOrder: core.Bool(*mpPol == "ino"),
 			CPIQSize:  *cpq,
 			MPIQSize:  *mpq,
 			LLIBSize:  *llib,
 			Mem:       mc,
-		}
-		p := core.New(cfg)
-		if warmRanges != nil {
-			p.Hierarchy().Warm(warmRanges)
-		}
-		st = p.Run(g, *warmup, *n)
-		name = p.Config().Name
+		}, *warmup, *n)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
 		os.Exit(1)
 	}
 
-	fmt.Printf("%s on %s: %s\n", name, g.Name(), st)
+	var res *sim.Result
+	if *traceFile != "" {
+		// Trace-driven runs bypass the Runner's workload registry (and
+		// its cache — an arbitrary trace has no stable identity) and use
+		// the low-level entry point.
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		g, err := trace.Read(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		spec.Bench = g.Name()
+		start := time.Now()
+		st := sim.Simulate(spec, g, nil)
+		res = &sim.Result{
+			Arch: spec.Arch.String(), Config: spec.ConfigName(), Bench: g.Name(),
+			Warmup: spec.Warmup, Measure: spec.Measure, Elapsed: time.Since(start), Stats: st,
+		}
+	} else {
+		var err error
+		res, err = sim.NewRunner().Run(spec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		if err := sim.WriteJSON(os.Stdout, []*sim.Result{res}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("%s on %s: %s\n", res.Config, res.Bench, res.Stats)
 	if *verbose {
-		printVerbose(st)
+		printVerbose(res.Stats)
 	}
 }
 

@@ -6,29 +6,49 @@
 //	experiments -run fig9
 //	experiments -run all -quick
 //	experiments -run fig3 -csv
+//	experiments -run all -quick -json > artifact.json
+//	experiments -run all -parallel 4
 //
 // Each experiment simulates every benchmark of the relevant suite(s) on the
 // relevant architecture configurations and prints the same rows or series the
 // paper reports, plus notes comparing against the paper's published numbers.
+//
+// All experiments share one sim.Runner: overlapping configurations across
+// figures (e.g. the MEM-400 baselines of Figures 1/2/9/11/12) simulate
+// exactly once per invocation, -parallel bounds the worker pool, and -json
+// emits a machine-readable artifact holding every table, the structured
+// per-run records, and the runner's dedup metrics.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"dkip/internal/experiments"
+	"dkip/internal/sim"
 )
+
+// artifact is the -json output document.
+type artifact struct {
+	Scale       experiments.Scale    `json:"scale"`
+	Experiments []*experiments.Table `json:"experiments"`
+	Runs        []*sim.Result        `json:"runs"`
+	Metrics     sim.Metrics          `json:"metrics"`
+}
 
 func main() {
 	var (
-		run     = flag.String("run", "", "experiment id to run, or \"all\"")
-		list    = flag.Bool("list", false, "list experiment ids")
-		quick   = flag.Bool("quick", false, "reduced instruction counts (seconds instead of minutes)")
-		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		warmup  = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		measure = flag.Uint64("measure", 0, "override measured instructions per run")
+		run      = flag.String("run", "", "experiment id to run, or \"all\"")
+		list     = flag.Bool("list", false, "list experiment ids")
+		quick    = flag.Bool("quick", false, "reduced instruction counts (seconds instead of minutes)")
+		csv      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		jsonOut  = flag.Bool("json", false, "emit one JSON artifact: tables, per-run records, runner metrics")
+		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
 	)
 	flag.Parse()
 
@@ -43,6 +63,10 @@ func main() {
 		}
 		return
 	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(os.Stderr, "experiments: -csv and -json are mutually exclusive")
+		os.Exit(2)
+	}
 
 	scale := experiments.FullScale()
 	if *quick {
@@ -55,22 +79,48 @@ func main() {
 		scale.Measure = *measure
 	}
 
+	runner := sim.NewRunner(sim.Parallel(*parallel))
+	experiments.UseRunner(runner)
+
 	ids := []string{*run}
 	if *run == "all" {
 		ids = experiments.IDs()
 	}
+	var tables []*experiments.Table
 	for _, id := range ids {
 		start := time.Now()
-		t, err := experiments.Run(id, scale)
+		t, err := experiments.RunWith(runner, id, scale)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if *csv {
+		switch {
+		case *jsonOut:
+			tables = append(tables, t)
+		case *csv:
 			fmt.Print(t.CSV())
-		} else {
+		default:
 			fmt.Print(t.String())
 			fmt.Printf("(%s, %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(artifact{
+			Scale:       scale,
+			Experiments: tables,
+			Runs:        runner.Results(),
+			Metrics:     runner.Metrics(),
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *run == "all" {
+		m := runner.Metrics()
+		fmt.Fprintf(os.Stderr, "runner: %d runs requested, %d simulated, %d served by dedup/cache\n",
+			m.Requested, m.Simulated, m.Deduped+m.CacheHits)
 	}
 }

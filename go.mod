@@ -1,0 +1,3 @@
+module dkip
+
+go 1.22

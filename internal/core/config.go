@@ -187,6 +187,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the configuration with every zero field replaced by
+// the paper's default. core.New applies it implicitly; internal/sim applies
+// it before hashing so that a zero Config and an explicitly spelled-out
+// default Config describe (and memoize as) the same machine.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.ROBSize < c.ROBTimer {

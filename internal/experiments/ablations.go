@@ -6,6 +6,7 @@ import (
 	"dkip/internal/core"
 	"dkip/internal/mem"
 	"dkip/internal/ooo"
+	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
@@ -13,14 +14,14 @@ import (
 // instruction at the Aging-ROB head is short-latency but still in flight —
 // against an idealized stage that never stalls. §3.2 reports the stall costs
 // about 0.7% IPC on average.
-func AblationAnalyze(s Scale) *Table {
+func AblationAnalyze(r *sim.Runner, s Scale) *Table {
 	ideal := core.Config{Name: "ideal-analyze", IdealAnalyze: true}
 	var jobs []job
 	for _, b := range workload.Names() {
 		jobs = append(jobs, runDKIP("base/"+b, b, core.Config{}, s))
 		jobs = append(jobs, runDKIP("ideal/"+b, b, ideal, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"suite", "baseline IPC", "ideal-analyze IPC", "stall cost (%)"}}
 	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {
@@ -35,7 +36,7 @@ func AblationAnalyze(s Scale) *Table {
 // AblationAgingTimer sweeps the Aging-ROB timer. §3.2 requires the timer to
 // cover the L2 tag access (so a load's hit/miss status is known when it is
 // analyzed); a longer timer only delays classification and grows the ROB.
-func AblationAgingTimer(s Scale) *Table {
+func AblationAgingTimer(r *sim.Runner, s Scale) *Table {
 	timers := []int{8, 16, 32, 64}
 	var jobs []job
 	for _, timer := range timers {
@@ -44,7 +45,7 @@ func AblationAgingTimer(s Scale) *Table {
 			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
 		}
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"ROB timer (cycles)", "ROB entries", "SpecFP IPC"}}
 	for _, timer := range timers {
@@ -59,7 +60,7 @@ func AblationAgingTimer(s Scale) *Table {
 // AblationLLIBSize sweeps the LLIB capacity. §4.2 notes the FIFOs can be
 // made larger than the SLIQ at little cost, and Figure 13/14 show occupancy
 // rarely demands the full 2048.
-func AblationLLIBSize(s Scale) *Table {
+func AblationLLIBSize(r *sim.Runner, s Scale) *Table {
 	sizes := []int{256, 512, 1024, 2048, 4096}
 	var jobs []job
 	for _, size := range sizes {
@@ -68,7 +69,7 @@ func AblationLLIBSize(s Scale) *Table {
 			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
 		}
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"LLIB entries (each)", "SpecINT IPC", "SpecFP IPC"}}
 	for _, size := range sizes {
@@ -83,14 +84,14 @@ func AblationLLIBSize(s Scale) *Table {
 // AblationLLRF compares the banked, capacity-limited LLRF against ideal
 // register storage, and reports how often bank conflicts occurred. §3.2 and
 // §4.5 argue the 8×256 banked organization is never the bottleneck.
-func AblationLLRF(s Scale) *Table {
+func AblationLLRF(r *sim.Runner, s Scale) *Table {
 	ideal := core.Config{Name: "ideal-llrf", IdealLLRF: true}
 	var jobs []job
 	for _, b := range workload.Names() {
 		jobs = append(jobs, runDKIP("base/"+b, b, core.Config{}, s))
 		jobs = append(jobs, runDKIP("ideal/"+b, b, ideal, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"suite", "banked LLRF IPC", "ideal storage IPC", "delta (%)", "bank conflicts/10k instr"}}
 	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {
@@ -114,7 +115,7 @@ func AblationLLRF(s Scale) *Table {
 // and the D-KIP. Runahead turns independent misses into prefetches but
 // cannot execute the miss-dependent code, so the D-KIP should retain a clear
 // SpecFP lead while runahead narrows part of the gap.
-func AblationRunahead(s Scale) *Table {
+func AblationRunahead(r *sim.Runner, s Scale) *Table {
 	var jobs []job
 	for _, b := range workload.Names() {
 		jobs = append(jobs, runOOO("R10-64/"+b, b, ooo.R10K64(), s))
@@ -124,7 +125,7 @@ func AblationRunahead(s Scale) *Table {
 		jobs = append(jobs, runOOO("R10-64+RA/"+b, b, withRA, s))
 		jobs = append(jobs, runDKIP("DKIP/"+b, b, core.Config{}, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"architecture", "SpecINT", "SpecFP"}}
 	for _, name := range []string{"R10-64", "R10-64+RA", "DKIP"} {
@@ -141,7 +142,7 @@ func AblationRunahead(s Scale) *Table {
 // AblationCheckpoint compares checkpoint-placement policies under a
 // replay-distance recovery model: stride-only checkpoints vs additionally
 // anchoring checkpoints on low-confidence branches (Akkary et al. [12]).
-func AblationCheckpoint(s Scale) *Table {
+func AblationCheckpoint(r *sim.Runner, s Scale) *Table {
 	stride := core.Config{Name: "stride", ReplayRecovery: true}
 	lowconf := core.Config{Name: "lowconf", ReplayRecovery: true, CheckpointOnLowConf: true}
 	var jobs []job
@@ -149,7 +150,7 @@ func AblationCheckpoint(s Scale) *Table {
 		jobs = append(jobs, runDKIP("stride/"+b, b, stride, s))
 		jobs = append(jobs, runDKIP("lowconf/"+b, b, lowconf, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"checkpoint policy", "SpecINT IPC"}}
 	st := suiteMean(res, "stride", workload.SpecINT)
@@ -169,7 +170,7 @@ func AblationCheckpoint(s Scale) *Table {
 // small core and the D-KIP itself. Next-4-line prefetching rescues much of
 // the streaming FP loss on the small core but cannot touch pointer chains;
 // the D-KIP's window subsumes most of what prefetching provides.
-func AblationPrefetch(s Scale) *Table {
+func AblationPrefetch(r *sim.Runner, s Scale) *Table {
 	pf := mem.DefaultConfig()
 	pf.PrefetchDegree = 4
 	r64 := ooo.R10K64()
@@ -186,7 +187,7 @@ func AblationPrefetch(s Scale) *Table {
 		jobs = append(jobs, runDKIP("DKIP/"+b, b, dk, s))
 		jobs = append(jobs, runDKIP("DKIP+PF4/"+b, b, dkpf, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"architecture", "SpecINT", "SpecFP"}}
 	for _, name := range []string{"R10-64", "R10-64+PF4", "DKIP", "DKIP+PF4"} {
@@ -204,7 +205,7 @@ func AblationPrefetch(s Scale) *Table {
 // memory-level parallelism the D-KIP's kilo-instruction window exposes is
 // only realized if the memory system can track that many outstanding misses.
 // The paper assumes an unconstrained miss path; this quantifies the demand.
-func AblationMSHR(s Scale) *Table {
+func AblationMSHR(r *sim.Runner, s Scale) *Table {
 	counts := []int{1, 4, 8, 16, 32, 0} // 0 = unlimited
 	label := func(n int) string {
 		if n == 0 {
@@ -219,7 +220,7 @@ func AblationMSHR(s Scale) *Table {
 			jobs = append(jobs, runDKIP(cfg.Name+"/"+b, b, cfg, s))
 		}
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"MSHRs", "SpecFP IPC"}}
 	for _, n := range counts {
@@ -235,14 +236,14 @@ func AblationMSHR(s Scale) *Table {
 // AblationSingleLLIB quantifies the dual LLIB + dual MP organization against
 // a single merged pair — the paper credits part of the D-KIP's SpecFP edge
 // over the KILO processor to the split (§4.2).
-func AblationSingleLLIB(s Scale) *Table {
+func AblationSingleLLIB(r *sim.Runner, s Scale) *Table {
 	single := core.Config{Name: "single", SingleLLIB: true}
 	var jobs []job
 	for _, b := range workload.Names() {
 		jobs = append(jobs, runDKIP("dual/"+b, b, core.Config{}, s))
 		jobs = append(jobs, runDKIP("single/"+b, b, single, s))
 	}
-	res := runAll(jobs)
+	res := runAll(r, jobs)
 
 	t := &Table{Columns: []string{"suite", "dual LLIB/MP IPC", "single LLIB/MP IPC", "dual advantage (%)"}}
 	for _, suite := range []workload.Suite{workload.SpecINT, workload.SpecFP} {

@@ -6,7 +6,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -14,13 +13,15 @@ import (
 	"dkip/internal/core"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
+	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
 // Scale controls simulation length: warmup instructions (not measured) and
 // measured instructions per benchmark/configuration pair.
 type Scale struct {
-	Warmup, Measure uint64
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
 }
 
 // QuickScale is sized for test suites and benchmarks: seconds per experiment.
@@ -29,15 +30,16 @@ func QuickScale() Scale { return Scale{Warmup: 10_000, Measure: 40_000} }
 // FullScale is the cmd/experiments default: minutes for the big sweeps.
 func FullScale() Scale { return Scale{Warmup: 30_000, Measure: 200_000} }
 
-// Table is a formatted experiment result.
+// Table is a formatted experiment result. The JSON tags define the artifact
+// schema cmd/experiments -json emits.
 type Table struct {
-	ID      string
-	Title   string
-	Columns []string
-	Rows    [][]string
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
 	// Notes carries the paper-vs-measured commentary printed under the
 	// table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // String renders the table with aligned columns.
@@ -92,10 +94,12 @@ func (t *Table) CSV() string {
 	return b.String()
 }
 
-// registry maps experiment ids to their implementations.
+// registry maps experiment ids to their implementations. Every
+// implementation simulates exclusively through the sim.Runner it is handed,
+// so overlapping runs across experiments memoize per process.
 var registry = map[string]struct {
 	title string
-	fn    func(Scale) *Table
+	fn    func(*sim.Runner, Scale) *Table
 }{
 	"table1": {"Memory subsystem configurations (limit study)", Table1},
 	"table2": {"Invariant architectural parameters", Table2},
@@ -139,13 +143,46 @@ func Title(id string) (string, bool) {
 	return e.title, ok
 }
 
-// Run executes one experiment by id.
+// shared is the process-wide Runner behind Run: every figure, table,
+// ablation, command, and benchmark that goes through this package shares its
+// memo cache, so e.g. the default D-KIP simulated for Figure 9 is reused by
+// Figures 13/14 and most ablation baselines.
+var (
+	sharedMu sync.Mutex
+	shared   = sim.NewRunner()
+)
+
+// Runner returns the process-wide shared Runner (for metrics inspection and
+// cmd wiring).
+func Runner() *sim.Runner {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	return shared
+}
+
+// UseRunner replaces the process-wide shared Runner, returning the previous
+// one. cmd/experiments installs a Runner sized by -parallel; tests install
+// instrumented Runners.
+func UseRunner(r *sim.Runner) *sim.Runner {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	prev := shared
+	shared = r
+	return prev
+}
+
+// Run executes one experiment by id on the process-wide shared Runner.
 func Run(id string, s Scale) (*Table, error) {
+	return RunWith(Runner(), id, s)
+}
+
+// RunWith executes one experiment by id, simulating through r.
+func RunWith(r *sim.Runner, id string, s Scale) (*Table, error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), " "))
 	}
-	t := e.fn(s)
+	t := e.fn(r, s)
 	t.ID = id
 	if t.Title == "" {
 		t.Title = e.title
@@ -155,54 +192,42 @@ func Run(id string, s Scale) (*Table, error) {
 
 // ---- shared simulation helpers ----
 
-// job is one (architecture, benchmark) simulation.
+// job is one (architecture, benchmark) simulation: an experiment-local
+// result key plus the canonical RunSpec handed to the Runner.
 type job struct {
-	key   string
-	bench string
-	run   func(g *workload.Benchmark) *pipeline.Stats
+	key  string
+	spec sim.RunSpec
 }
 
-// runAll executes jobs across all CPUs and returns stats keyed by job key.
-// Every job builds its own generator and processor, so runs are independent
-// and deterministic regardless of scheduling.
-func runAll(jobs []job) map[string]*pipeline.Stats {
-	results := make([]*pipeline.Stats, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			g := workload.MustNew(jobs[i].bench)
-			results[i] = jobs[i].run(g)
-		}(i)
+// runAll executes jobs through the Runner's worker pool and returns stats
+// keyed by job key. Identical specs — within this call or against anything
+// the Runner has executed before — simulate once.
+func runAll(r *sim.Runner, jobs []job) map[string]*pipeline.Stats {
+	specs := make([]sim.RunSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = j.spec
 	}
-	wg.Wait()
+	results, err := r.RunAll(specs)
+	if err != nil {
+		// Specs are built from registered configurations and benchmark
+		// names; a failure here is a programming error.
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
 	out := make(map[string]*pipeline.Stats, len(jobs))
 	for i, j := range jobs {
-		out[j.key] = results[i]
+		out[j.key] = results[i].Stats
 	}
 	return out
 }
 
 // runOOO builds a job simulating an out-of-order (or KILO) configuration.
 func runOOO(key, bench string, cfg ooo.Config, s Scale) job {
-	return job{key: key, bench: bench, run: func(g *workload.Benchmark) *pipeline.Stats {
-		p := ooo.New(cfg)
-		p.Hierarchy().Warm(g.WarmRanges())
-		return p.Run(g, s.Warmup, s.Measure)
-	}}
+	return job{key: key, spec: sim.OOOSpec(bench, cfg, s.Warmup, s.Measure)}
 }
 
 // runDKIP builds a job simulating a D-KIP configuration.
 func runDKIP(key, bench string, cfg core.Config, s Scale) job {
-	return job{key: key, bench: bench, run: func(g *workload.Benchmark) *pipeline.Stats {
-		p := core.New(cfg)
-		p.Hierarchy().Warm(g.WarmRanges())
-		return p.Run(g, s.Warmup, s.Measure)
-	}}
+	return job{key: key, spec: sim.DKIPSpec(bench, cfg, s.Warmup, s.Measure)}
 }
 
 // suiteMean averages IPC over a suite from keyed results; key is

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden snapshots:
+//
+//	go test ./internal/experiments -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenIDs is the representative subset snapshotted at QuickScale: the
+// three static tables (pure configuration rendering) plus one simulated
+// figure per engine-heavy code path — the D-KIP occupancy study and an
+// ablation sweep. Simulations are deterministic (see internal/sim's
+// determinism test), so these snapshots catch any unintended behaviour
+// change in the pipeline models, the workload generators, or the table
+// rendering.
+var goldenIDs = []string{"table1", "table2", "table3", "fig13", "ablation-aging"}
+
+// simulated reports whether the experiment runs the simulator (vs rendering
+// static configuration tables).
+func simulated(id string) bool {
+	return id != "table1" && id != "table2" && id != "table3"
+}
+
+func TestGoldenTables(t *testing.T) {
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			if testing.Short() && simulated(id) {
+				t.Skip("simulation experiment")
+			}
+			tab, err := Run(id, QuickScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := tab.String()
+			path := filepath.Join("testdata", id+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("%s drifted from golden %s.\ngot:\n%s\nwant:\n%s\n(re-run with -update if the change is intended)",
+					id, path, got, want)
+			}
+		})
+	}
+}

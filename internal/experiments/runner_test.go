@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"dkip/internal/sim"
+	"dkip/internal/workload"
+)
+
+// Figures 9 and 11 both simulate the R10-256 baseline with the default
+// 512KB hierarchy on every SpecINT benchmark (Figure 11 spells the
+// hierarchy out per sweep point, Figure 9 relies on defaults). Through one
+// shared Runner those overlapping RunSpecs must simulate exactly once per
+// process — the tentpole invariant of the run-orchestration layer.
+func TestOverlappingFiguresSimulateOnce(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	var mu sync.Mutex
+	simsPerKey := map[string]int{}
+	r := sim.NewRunner(sim.OnSimulate(func(s sim.RunSpec) {
+		mu.Lock()
+		simsPerKey[s.Key()]++
+		mu.Unlock()
+	}))
+
+	s := Scale{Warmup: 500, Measure: 2000}
+	for _, id := range []string{"fig9", "fig11"} {
+		if _, err := RunWith(r, id, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for key, n := range simsPerKey {
+		if n != 1 {
+			t.Errorf("spec %s simulated %d times, want exactly once", key, n)
+		}
+	}
+	m := r.Metrics()
+	// The R10-256 runs on the 12 SpecINT benchmarks are requested by both
+	// figures; only the first requester may simulate.
+	minOverlap := uint64(len(workload.SuiteNames(workload.SpecINT)))
+	if m.CacheHits+m.Deduped < minOverlap {
+		t.Errorf("dedup+cache served %d runs, want >= %d (the R10-256 SpecINT overlap); metrics %+v",
+			m.CacheHits+m.Deduped, minOverlap, m)
+	}
+	if m.Requested != m.Simulated+m.Deduped+m.CacheHits {
+		t.Errorf("metrics do not balance: %+v", m)
+	}
+	if m.Simulated != uint64(len(simsPerKey)) {
+		t.Errorf("Simulated = %d but hook saw %d unique keys", m.Simulated, len(simsPerKey))
+	}
+}
+
+// Re-running an experiment on the shared process Runner must not simulate
+// anything the second time.
+func TestRepeatedExperimentFullyCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	r := sim.NewRunner()
+	s := Scale{Warmup: 500, Measure: 2000}
+	if _, err := RunWith(r, "fig13", s); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Metrics().Simulated
+	tab, err := RunWith(r, "fig13", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := r.Metrics().Simulated; after != before {
+		t.Errorf("re-run simulated %d new runs, want 0", after-before)
+	}
+	if len(tab.Rows) != len(workload.SuiteNames(workload.SpecINT)) {
+		t.Errorf("cached re-run produced %d rows", len(tab.Rows))
+	}
+}
+
+// UseRunner swaps the process-wide runner and hands back the previous one.
+func TestUseRunnerSwaps(t *testing.T) {
+	orig := Runner()
+	repl := sim.NewRunner()
+	if prev := UseRunner(repl); prev != orig {
+		t.Error("UseRunner did not return the previous runner")
+	}
+	if Runner() != repl {
+		t.Error("Runner() does not see the replacement")
+	}
+	UseRunner(orig)
+}

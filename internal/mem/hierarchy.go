@@ -107,6 +107,12 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the configuration with zero geometry fields (line
+// size, associativities) replaced by their defaults. The Hierarchy applies it
+// implicitly; internal/sim applies it before hashing so equivalent
+// hierarchies memoize as the same machine.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Validate reports an error for nonsensical configurations.
 func (c Config) Validate() error {
 	if c.L1Latency <= 0 {

@@ -125,6 +125,11 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// WithDefaults returns the configuration with every zero field replaced by
+// its default. ooo.New applies it implicitly; internal/sim applies it before
+// hashing so equivalent configurations memoize as the same machine.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	if c.ROBSize <= 0 {

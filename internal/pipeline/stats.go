@@ -12,11 +12,12 @@ const HistBucket = 25
 // land in the overflow bucket.
 const HistMax = 1200
 
-// Histogram counts decode→issue distances, reproducing Figure 3.
+// Histogram counts decode→issue distances, reproducing Figure 3. The JSON
+// tags define the encoding used by internal/sim's Result records.
 type Histogram struct {
-	Buckets   [HistMax/HistBucket + 1]uint64
-	Total     uint64
-	SumCycles uint64
+	Buckets   [HistMax/HistBucket + 1]uint64 `json:"buckets"`
+	Total     uint64                         `json:"total"`
+	SumCycles uint64                         `json:"sum_cycles"`
 }
 
 // Observe adds one distance sample (in cycles).
@@ -79,45 +80,53 @@ func (h *Histogram) String() string {
 	return b.String()
 }
 
-// Stats aggregates the outcome of one simulation run.
+// Stats aggregates the outcome of one simulation run. The JSON tags define
+// the encoding used by internal/sim's Result records. Stats deliberately has
+// no reference-typed fields: a value copy is a deep copy, which the
+// memoizing run cache relies on when handing results to multiple callers.
 type Stats struct {
 	// Cycles is the simulated cycle count; Committed the retired
 	// instruction count. IPC() is their ratio.
-	Cycles    int64
-	Committed uint64
-	Fetched   uint64
+	Cycles    int64  `json:"cycles"`
+	Committed uint64 `json:"committed"`
+	Fetched   uint64 `json:"fetched"`
 
 	// Branches and Mispredicts count committed conditional branches.
-	Branches    uint64
-	Mispredicts uint64
+	Branches    uint64 `json:"branches"`
+	Mispredicts uint64 `json:"mispredicts"`
 
 	// Loads by satisfying level: [L1, L2, Memory].
-	LoadLevel [3]uint64
+	LoadLevel [3]uint64 `json:"load_level"`
 
 	// Structural stall cycles observed at rename.
-	StallROBFull, StallIQFull, StallLSQFull int64
+	StallROBFull int64 `json:"stall_rob_full"`
+	StallIQFull  int64 `json:"stall_iq_full"`
+	StallLSQFull int64 `json:"stall_lsq_full"`
 
 	// IssueLat is the decode→issue distance histogram (Figure 3).
-	IssueLat Histogram
+	IssueLat Histogram `json:"issue_lat"`
 
 	// Model-specific counters (D-KIP); zero elsewhere.
 
 	// CPCommitted counts instructions retired directly by the Cache
 	// Processor; MPCommitted those processed via the LLIB and Memory
 	// Processor.
-	CPCommitted, MPCommitted uint64
+	CPCommitted uint64 `json:"cp_committed"`
+	MPCommitted uint64 `json:"mp_committed"`
 	// MaxLLIBInstrs and MaxLLIBRegs track the high-water occupancy of
 	// each LLIB and its register file (Figures 13/14): [int, fp].
-	MaxLLIBInstrs, MaxLLIBRegs [2]int
+	MaxLLIBInstrs [2]int `json:"max_llib_instrs"`
+	MaxLLIBRegs   [2]int `json:"max_llib_regs"`
 	// LLIBFullStalls counts Analyze stalls due to a full LLIB.
-	LLIBFullStalls int64
+	LLIBFullStalls int64 `json:"llib_full_stalls"`
 	// AnalyzeWaitStalls counts Analyze stalls waiting for a short-latency
 	// instruction to write back (§3.2 reports ~0.7% IPC impact).
-	AnalyzeWaitStalls int64
+	AnalyzeWaitStalls int64 `json:"analyze_wait_stalls"`
 	// Checkpoints counts checkpoints taken; Recoveries counts rollbacks.
-	Checkpoints, Recoveries uint64
+	Checkpoints uint64 `json:"checkpoints"`
+	Recoveries  uint64 `json:"recoveries"`
 	// LLRFBankConflicts counts one-cycle LLRF read stalls.
-	LLRFBankConflicts int64
+	LLRFBankConflicts int64 `json:"llrf_bank_conflicts"`
 }
 
 // IPC returns committed instructions per cycle.

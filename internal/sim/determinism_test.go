@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dkip/internal/core"
+	"dkip/internal/kilo"
+	"dkip/internal/ooo"
+)
+
+// Back-to-back runs of the same seed/config/workload must produce identical
+// pipeline.Stats for every architecture — the invariant the memoizing run
+// cache relies on: a cached result must be indistinguishable from
+// re-simulating.
+func TestRunsAreDeterministic(t *testing.T) {
+	specs := map[string]RunSpec{
+		"dkip-int": DKIPSpec("mcf", core.Config{}, testWarmup, testMeasure),
+		"dkip-fp":  DKIPSpec("swim", core.Config{}, testWarmup, testMeasure),
+		"ooo-int":  OOOSpec("gzip", ooo.R10K64(), testWarmup, testMeasure),
+		"ooo-fp":   OOOSpec("applu", ooo.R10K256(), testWarmup, testMeasure),
+		"kilo-int": OOOSpec("mcf", kilo.Config1024(), testWarmup, testMeasure),
+		"kilo-fp":  OOOSpec("art", kilo.Config1024(), testWarmup, testMeasure),
+	}
+	for name, spec := range specs {
+		spec := spec
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			// A NoMemo runner forces both executions to really
+			// simulate; a single runner would serve the second from
+			// cache and prove nothing.
+			r := NewRunner(NoMemo())
+			a, err := r.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := r.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cached || b.Cached {
+				t.Fatal("NoMemo runner served a cached result")
+			}
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Errorf("back-to-back runs diverge:\n first: %+v\nsecond: %+v", a.Stats, b.Stats)
+			}
+			if a.Stats.Committed != spec.Measure {
+				t.Errorf("committed %d instructions, want the measured %d", a.Stats.Committed, spec.Measure)
+			}
+		})
+	}
+}

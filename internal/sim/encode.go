@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"dkip/internal/pipeline"
+)
+
+// Result is the structured record of one simulation run.
+type Result struct {
+	// Key is the RunSpec content hash the memo cache is keyed by; empty
+	// for uncacheable runs (opaque untagged configs, raw traces) whose
+	// hash would not fully identify the machine.
+	Key string `json:"key,omitempty"`
+	// Arch and Config identify the machine; Bench the workload.
+	Arch   string `json:"arch"`
+	Config string `json:"config"`
+	Bench  string `json:"bench"`
+	// Warmup/Measure echo the spec's scale.
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	// Cached reports whether this record was served from the memo cache
+	// rather than freshly simulated.
+	Cached bool `json:"cached"`
+	// Elapsed is the wall time of the underlying simulation.
+	Elapsed time.Duration `json:"elapsed_ns"`
+	// Stats is the full simulator outcome.
+	Stats *pipeline.Stats `json:"stats"`
+}
+
+// clone returns a deep copy (Stats has no reference fields, so a value copy
+// suffices) with Cached set as given.
+func (r *Result) clone(cached bool) *Result {
+	out := *r
+	if r.Stats != nil {
+		st := *r.Stats
+		out.Stats = &st
+	}
+	out.Cached = cached
+	return &out
+}
+
+// IPC is a convenience accessor for the headline metric.
+func (r *Result) IPC() float64 {
+	if r.Stats == nil {
+		return 0
+	}
+	return r.Stats.IPC()
+}
+
+// WriteJSON writes the results as an indented JSON array.
+func WriteJSON(w io.Writer, results []*Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// csvColumns is the header of the CSV encoding: identity, scale, and the
+// headline counters of pipeline.Stats.
+var csvColumns = []string{
+	"key", "arch", "config", "bench", "warmup", "measure", "cached",
+	"cycles", "committed", "ipc", "mispredict_rate", "mem_load_frac", "elapsed_ns",
+}
+
+// WriteCSV writes the results as CSV with a header row. Cells never contain
+// commas (names are config/benchmark identifiers), so no quoting is needed.
+func WriteCSV(w io.Writer, results []*Result) error {
+	if _, err := io.WriteString(w, strings.Join(csvColumns, ",")+"\n"); err != nil {
+		return err
+	}
+	for _, r := range results {
+		st := r.Stats
+		if st == nil {
+			st = &pipeline.Stats{}
+		}
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s,%d,%d,%t,%d,%d,%.4f,%.4f,%.4f,%d\n",
+			r.Key, r.Arch, r.Config, r.Bench, r.Warmup, r.Measure, r.Cached,
+			st.Cycles, st.Committed, st.IPC(), st.MispredictRate(), st.MemoryLoadFrac(), r.Elapsed.Nanoseconds())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dkip/internal/core"
+)
+
+func testResult(t *testing.T) *Result {
+	t.Helper()
+	res, err := NewRunner().Run(DKIPSpec("swim", core.Config{}, testWarmup, testMeasure))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	res := testResult(t)
+	var b strings.Builder
+	if err := WriteJSON(&b, []*Result{res}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []Result
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d records", len(decoded))
+	}
+	d := decoded[0]
+	if d.Key != res.Key || d.Arch != "dkip" || d.Config != "DKIP-2048" || d.Bench != "swim" {
+		t.Errorf("identity fields wrong: %+v", d)
+	}
+	if d.Stats == nil || *d.Stats != *res.Stats {
+		t.Error("stats did not round-trip")
+	}
+	if !strings.Contains(b.String(), `"cp_committed"`) {
+		t.Error("stats encoding lacks snake_case tags")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	res := testResult(t)
+	var b strings.Builder
+	if err := WriteCSV(&b, []*Result{res, res.clone(true)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want header + 2 rows", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "key,arch,config,bench,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	for i, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != strings.Count(lines[0], ",") {
+			t.Errorf("row %d has %d commas, header has %d", i, got, strings.Count(lines[0], ","))
+		}
+	}
+	if !strings.Contains(lines[2], ",true,") {
+		t.Error("cached clone row should mark cached=true")
+	}
+}
+
+func TestResultCloneIsDeep(t *testing.T) {
+	res := testResult(t)
+	c := res.clone(true)
+	c.Stats.Committed++
+	if res.Stats.Committed == c.Stats.Committed {
+		t.Error("clone shares Stats with the original")
+	}
+	if !c.Cached || res.Cached {
+		t.Error("clone cached flag wrong")
+	}
+	if c.IPC() == 0 {
+		t.Error("IPC accessor returned zero for a real run")
+	}
+}

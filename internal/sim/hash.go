@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+)
+
+// hashConfig writes a deterministic textual encoding of a configuration
+// struct to w, for content hashing. Rules:
+//
+//   - struct fields are encoded in declaration order as "name=value;";
+//   - fields named "Name" are skipped: every config's Name labels reports
+//     and never changes simulated behaviour, and excluding it lets e.g.
+//     Figure 9's "R10-256" dedupe against Figure 11's "R10-256@512KB";
+//   - function fields are skipped — they are opaque to a content hash; see
+//     RunSpec.Memoizable / hasOpaqueFields for how specs carrying custom
+//     functions are kept out of the memo cache;
+//   - nil pointers encode as "~", non-nil pointers as their element — the
+//     caller is expected to have normalized defaults already (WithDefaults),
+//     which resolves e.g. core.Config's tri-state *bool fields.
+//
+// Unsupported kinds (maps, channels, interfaces) panic: a config growing one
+// must extend this encoder, not silently hash wrong.
+func hashConfig(w io.Writer, cfg interface{}) {
+	hashValue(w, reflect.ValueOf(cfg))
+}
+
+func hashValue(w io.Writer, v reflect.Value) {
+	switch v.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			io.WriteString(w, "t")
+		} else {
+			io.WriteString(w, "f")
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		io.WriteString(w, strconv.FormatInt(v.Int(), 10))
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		io.WriteString(w, strconv.FormatUint(v.Uint(), 10))
+	case reflect.Float32, reflect.Float64:
+		io.WriteString(w, strconv.FormatFloat(v.Float(), 'g', -1, 64))
+	case reflect.String:
+		fmt.Fprintf(w, "%q", v.String())
+	case reflect.Ptr:
+		if v.IsNil() {
+			io.WriteString(w, "~")
+		} else {
+			hashValue(w, v.Elem())
+		}
+	case reflect.Slice, reflect.Array:
+		fmt.Fprintf(w, "[%d:", v.Len())
+		for i := 0; i < v.Len(); i++ {
+			hashValue(w, v.Index(i))
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, "]")
+	case reflect.Struct:
+		t := v.Type()
+		io.WriteString(w, "{")
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Name == "Name" || f.Type.Kind() == reflect.Func {
+				continue
+			}
+			io.WriteString(w, f.Name)
+			io.WriteString(w, "=")
+			hashValue(w, v.Field(i))
+			io.WriteString(w, ";")
+		}
+		io.WriteString(w, "}")
+	default:
+		panic(fmt.Sprintf("sim: cannot hash config field of kind %s", v.Kind()))
+	}
+}
+
+// hasOpaqueFields reports whether the raw configuration carries any non-nil
+// function field — behaviour the content hash cannot observe.
+func hasOpaqueFields(cfg interface{}) bool {
+	return opaqueValue(reflect.ValueOf(cfg))
+}
+
+func opaqueValue(v reflect.Value) bool {
+	switch v.Kind() {
+	case reflect.Func:
+		return !v.IsNil()
+	case reflect.Ptr:
+		return !v.IsNil() && opaqueValue(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < v.NumField(); i++ {
+			if opaqueValue(v.Field(i)) {
+				return true
+			}
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if opaqueValue(v.Index(i)) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"dkip/internal/workload"
+)
+
+// Metrics counts Runner activity. Requested = Simulated + Deduped +
+// CacheHits + failures; Uncacheable counts the subset of Simulated forced by
+// non-memoizable specs.
+type Metrics struct {
+	// Requested counts Run calls (including those served without
+	// simulating).
+	Requested uint64 `json:"requested"`
+	// Simulated counts actual processor executions.
+	Simulated uint64 `json:"simulated"`
+	// Deduped counts Run calls that joined an identical in-flight
+	// simulation (singleflight).
+	Deduped uint64 `json:"deduped"`
+	// CacheHits counts Run calls served from the memo cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// Uncacheable counts simulations of specs the cache could not hold
+	// (opaque configs without a Tag).
+	Uncacheable uint64 `json:"uncacheable"`
+}
+
+// Option configures a Runner.
+type Option func(*Runner)
+
+// Parallel bounds concurrent simulations; n <= 0 means GOMAXPROCS.
+func Parallel(n int) Option {
+	return func(r *Runner) {
+		if n > 0 {
+			r.sem = make(chan struct{}, n)
+		}
+	}
+}
+
+// OnSimulate installs a hook invoked once per actual simulation (never for
+// deduplicated or cached runs), from the simulating goroutine. Tests use it
+// to prove overlapping specs execute exactly once.
+func OnSimulate(fn func(RunSpec)) Option {
+	return func(r *Runner) { r.hook = fn }
+}
+
+// NoMemo disables the memoizing result cache while keeping in-flight
+// deduplication: sequential repeats re-simulate, concurrent duplicates still
+// coalesce. Benchmarks measuring raw simulator speed use it.
+func NoMemo() Option {
+	return func(r *Runner) { r.memo = false }
+}
+
+// Runner executes RunSpecs on a bounded worker pool with singleflight
+// deduplication and an in-process memoizing cache. It is safe for concurrent
+// use; one process-wide Runner shared by every experiment gives cross-figure
+// deduplication.
+type Runner struct {
+	sem  chan struct{}
+	hook func(RunSpec)
+	memo bool
+
+	mu      sync.Mutex
+	calls   map[string]*call
+	results []*Result
+	m       Metrics
+}
+
+// call is one in-flight or completed simulation.
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewRunner builds a Runner. With no options: GOMAXPROCS workers, memoizing
+// cache on, no hook.
+func NewRunner(opts ...Option) *Runner {
+	r := &Runner{memo: true, calls: make(map[string]*call)}
+	for _, o := range opts {
+		o(r)
+	}
+	if r.sem == nil {
+		r.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return r
+}
+
+// Run executes the spec (or returns the memoized result of an identical
+// earlier run). The returned Result is the caller's own copy; Cached reports
+// whether a simulation was avoided.
+func (r *Runner) Run(spec RunSpec) (*Result, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if !spec.Memoizable() {
+		r.mu.Lock()
+		r.m.Requested++
+		r.m.Uncacheable++
+		r.mu.Unlock()
+		return r.simulate(spec)
+	}
+	key := spec.Key()
+	r.mu.Lock()
+	r.m.Requested++
+	if c, ok := r.calls[key]; ok {
+		select {
+		case <-c.done:
+			r.m.CacheHits++
+		default:
+			r.m.Deduped++
+		}
+		r.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return nil, c.err
+		}
+		return c.res.clone(true), nil
+	}
+	c := &call{done: make(chan struct{})}
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	c.res, c.err = r.simulate(spec)
+	r.mu.Lock()
+	if c.err != nil || !r.memo {
+		// Drop the entry so later Runs retry (or, without memoization,
+		// re-simulate); concurrent waiters still get this result.
+		delete(r.calls, key)
+	}
+	r.mu.Unlock()
+	close(c.done)
+	if c.err != nil {
+		return nil, c.err
+	}
+	return c.res.clone(false), nil
+}
+
+// simulate performs one real execution under the worker-pool bound.
+func (r *Runner) simulate(spec RunSpec) (*Result, error) {
+	g, err := workload.New(spec.Bench)
+	if err != nil {
+		return nil, err
+	}
+	r.sem <- struct{}{}
+	defer func() { <-r.sem }()
+	if r.hook != nil {
+		r.hook(spec)
+	}
+	// A non-memoizable spec's content hash cannot see the opaque fields
+	// that make it uncacheable; stamping it would let -json consumers
+	// conflate behaviourally different runs. Leave Key empty instead.
+	key := ""
+	if spec.Memoizable() {
+		key = spec.Key()
+	}
+	start := time.Now()
+	st := Simulate(spec, g, g.WarmRanges())
+	res := &Result{
+		Key:     key,
+		Arch:    spec.Arch.String(),
+		Config:  spec.ConfigName(),
+		Bench:   spec.Bench,
+		Warmup:  spec.Warmup,
+		Measure: spec.Measure,
+		Elapsed: time.Since(start),
+		Stats:   st,
+	}
+	r.mu.Lock()
+	r.m.Simulated++
+	r.results = append(r.results, res)
+	r.mu.Unlock()
+	return res, nil
+}
+
+// RunAll executes all specs concurrently (bounded by the worker pool),
+// preserving order: results[i] corresponds to specs[i]. On error the
+// remaining specs still run; the joined error and any nil results are
+// returned together.
+func (r *Runner) RunAll(specs []RunSpec) ([]*Result, error) {
+	results := make([]*Result, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = r.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results, errors.Join(errs...)
+}
+
+// Metrics returns a snapshot of the counters.
+func (r *Runner) Metrics() Metrics {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.m
+}
+
+// Results returns copies of the unique simulations performed so far, in
+// completion order — the per-run records behind cmd/experiments -json.
+func (r *Runner) Results() []*Result {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Result, len(r.results))
+	for i, res := range r.results {
+		out[i] = res.clone(false)
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+// Package sim is the run-orchestration layer under every experiment, command
+// and benchmark in this repository.
+//
+// A simulation run is described by a RunSpec: which engine (the out-of-order
+// baseline family or the D-KIP), its full configuration, the workload, and
+// the warmup/measure scale. A RunSpec has a deterministic content hash
+// (Key), computed over the *normalized* configuration — presentation-only
+// fields (Name) are excluded and paper defaults are applied first — so two
+// specs describing the same machine on the same workload hash identically no
+// matter how they were spelled.
+//
+// The Runner executes specs on a bounded worker pool with singleflight-style
+// deduplication and an in-process memoizing cache keyed by that hash: the
+// many overlapping sweeps of the paper's figures (the MEM-* baselines shared
+// by the window and cache sweeps, the default D-KIP shared by Figure 9, the
+// occupancy figures and most ablations) each simulate exactly once per
+// process. Results are structured records with JSON and CSV encoders, the
+// artifact format cmd/experiments -json emits.
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"dkip/internal/core"
+	"dkip/internal/ooo"
+	"dkip/internal/pipeline"
+	"dkip/internal/trace"
+	"dkip/internal/workload"
+)
+
+// Arch selects the simulation engine for a RunSpec.
+type Arch uint8
+
+// Engines.
+const (
+	// ArchOOO is the R10000-style out-of-order core (package ooo): the
+	// R10-* baselines, the limit-study cores, and — with the SLIQ
+	// extension enabled — the KILO-1024 baseline (package kilo).
+	ArchOOO Arch = iota
+	// ArchDKIP is the Decoupled KILO-Instruction Processor (package core).
+	ArchDKIP
+)
+
+// String names the engine.
+func (a Arch) String() string {
+	switch a {
+	case ArchOOO:
+		return "ooo"
+	case ArchDKIP:
+		return "dkip"
+	}
+	return fmt.Sprintf("arch(%d)", uint8(a))
+}
+
+// RunSpec is the canonical description of one simulation run. Exactly one of
+// OOO/DKIP is meaningful, selected by Arch.
+type RunSpec struct {
+	Arch Arch
+	// OOO is the configuration when Arch == ArchOOO.
+	OOO ooo.Config
+	// DKIP is the configuration when Arch == ArchDKIP.
+	DKIP core.Config
+	// Bench names the workload (a registered synthetic SPEC2000 stand-in,
+	// see internal/workload).
+	Bench string
+	// Warmup instructions run before measurement; Measure instructions
+	// are measured.
+	Warmup, Measure uint64
+	// Tag is an extra hash discriminator. It is required to make a spec
+	// memoizable when the configuration carries opaque function fields
+	// (e.g. a custom NewPredictor), which the content hash cannot see:
+	// distinct predictors must carry distinct tags.
+	Tag string
+}
+
+// OOOSpec builds a RunSpec for the out-of-order engine.
+func OOOSpec(bench string, cfg ooo.Config, warmup, measure uint64) RunSpec {
+	return RunSpec{Arch: ArchOOO, OOO: cfg, Bench: bench, Warmup: warmup, Measure: measure}
+}
+
+// DKIPSpec builds a RunSpec for the D-KIP engine.
+func DKIPSpec(bench string, cfg core.Config, warmup, measure uint64) RunSpec {
+	return RunSpec{Arch: ArchDKIP, DKIP: cfg, Bench: bench, Warmup: warmup, Measure: measure}
+}
+
+// normalized applies configuration defaults so that equivalent specs encode
+// identically, and zeroes the engine config the spec does not use.
+func (s RunSpec) normalized() RunSpec {
+	switch s.Arch {
+	case ArchDKIP:
+		s.DKIP = s.DKIP.WithDefaults()
+		s.DKIP.Mem = s.DKIP.Mem.WithDefaults()
+		s.OOO = ooo.Config{}
+	default:
+		s.OOO = s.OOO.WithDefaults()
+		s.OOO.Mem = s.OOO.Mem.WithDefaults()
+		s.DKIP = core.Config{}
+	}
+	return s
+}
+
+// ConfigName returns the configuration's display name (after defaults, so a
+// zero D-KIP config reports the paper's "DKIP-2048").
+func (s RunSpec) ConfigName() string {
+	n := s.normalized()
+	if s.Arch == ArchDKIP {
+		return n.DKIP.Name
+	}
+	return n.OOO.Name
+}
+
+// Key returns the deterministic content hash identifying this run: engine,
+// normalized configuration (minus presentation-only Name fields and opaque
+// function fields), workload, scale, and tag. Two specs with equal Keys
+// simulate identically; the Runner memoizes on it.
+func (s RunSpec) Key() string {
+	n := s.normalized()
+	h := sha256.New()
+	fmt.Fprintf(h, "arch=%s;bench=%s;warmup=%d;measure=%d;tag=%s;", s.Arch, s.Bench, s.Warmup, s.Measure, s.Tag)
+	if s.Arch == ArchDKIP {
+		hashConfig(h, n.DKIP)
+	} else {
+		hashConfig(h, n.OOO)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Memoizable reports whether the Key fully identifies the run. A spec whose
+// raw configuration carries a non-nil function field (a custom predictor
+// constructor) is opaque to the content hash and is only memoizable when a
+// Tag distinguishes it.
+func (s RunSpec) Memoizable() bool {
+	if s.Tag != "" {
+		return true
+	}
+	if s.Arch == ArchDKIP {
+		return !hasOpaqueFields(s.DKIP)
+	}
+	return !hasOpaqueFields(s.OOO)
+}
+
+// Validate reports spec errors: unknown workload, empty scale, or an invalid
+// engine configuration.
+func (s RunSpec) Validate() error {
+	if _, ok := workload.Lookup(s.Bench); !ok {
+		return fmt.Errorf("sim: unknown benchmark %q", s.Bench)
+	}
+	if s.Measure == 0 {
+		return fmt.Errorf("sim: spec for %q measures zero instructions", s.Bench)
+	}
+	n := s.normalized()
+	var err error
+	if s.Arch == ArchDKIP {
+		err = n.DKIP.Validate()
+	} else {
+		err = n.OOO.Validate()
+	}
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	return nil
+}
+
+// Label renders the spec for logs: "config/bench".
+func (s RunSpec) Label() string {
+	return s.ConfigName() + "/" + s.Bench
+}
+
+// Simulate builds the spec's processor and runs it over the given generator,
+// warming the hierarchy with warm first (pass nil to skip). It is the
+// low-level, uncached entry point: the Runner uses it with the spec's named
+// workload, and cmd/dkipsim uses it directly for trace-driven runs whose
+// source is not a registered benchmark.
+func Simulate(s RunSpec, g trace.Generator, warm [][2]uint64) *pipeline.Stats {
+	if s.Arch == ArchDKIP {
+		p := core.New(s.DKIP)
+		if warm != nil {
+			p.Hierarchy().Warm(warm)
+		}
+		return p.Run(g, s.Warmup, s.Measure)
+	}
+	p := ooo.New(s.OOO)
+	if warm != nil {
+		p.Hierarchy().Warm(warm)
+	}
+	return p.Run(g, s.Warmup, s.Measure)
+}
