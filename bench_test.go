@@ -16,6 +16,9 @@
 package dkip
 
 import (
+	"flag"
+	"fmt"
+	"os"
 	"strconv"
 	"sync"
 	"testing"
@@ -25,6 +28,28 @@ import (
 	"dkip/internal/ooo"
 	"dkip/internal/sim"
 )
+
+// cacheDir optionally backs the shared Runner with a persistent result
+// store, so repeated `go test -bench` invocations warm-start:
+//
+//	go test -bench=. -cache-dir ~/.cache/dkip .
+//
+// On a warm store every experiment benchmark reports 0 sims/op — it then
+// measures table assembly and cache service, not the simulator.
+var cacheDir = flag.String("cache-dir", "", "persistent sim result store for warm-starting benchmark runs")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if *cacheDir != "" {
+		store, err := sim.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		experiments.UseRunner(sim.NewRunner(sim.WithStore(store)))
+	}
+	os.Exit(m.Run())
+}
 
 // benchScale keeps every -bench=. sweep to seconds per experiment.
 func benchScale() experiments.Scale {

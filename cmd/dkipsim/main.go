@@ -9,11 +9,16 @@
 //	dkipsim -arch limit -window 4096 -bench art
 //	dkipsim -arch dkip -cp ino -mp ooo -mpq 40 -bench equake
 //	dkipsim -arch dkip -bench swim -json
+//	dkipsim -arch dkip -bench swim -cache-dir ~/.cache/dkip
 //	dkipsim -list
 //
 // The flags assemble one sim.RunSpec which executes through the same
 // run-orchestration layer as cmd/experiments; -json prints the structured
-// sim.Result record instead of the human-readable summary.
+// sim.Result record instead of the human-readable summary. -cache-dir
+// shares cmd/experiments' persistent result store (a repeated run is served
+// from disk); -shard i/n exits without simulating when the spec is not
+// assigned to shard i — the building block for driving many dkipsim
+// processes over a partitioned run matrix.
 package main
 
 import (
@@ -51,6 +56,8 @@ func main() {
 		verbose   = flag.Bool("v", false, "print extended statistics")
 		jsonOut   = flag.Bool("json", false, "print the structured sim.Result record as JSON")
 		traceFile = flag.String("trace", "", "drive the simulation from a binary trace file instead of -bench")
+		cacheDir  = flag.String("cache-dir", "", "persistent result-store directory shared with cmd/experiments")
+		shard     = flag.String("shard", "", "skip the run unless the spec falls in shard i of n (\"i/n\")")
 	)
 	flag.Parse()
 
@@ -122,8 +129,25 @@ func main() {
 			Warmup: spec.Warmup, Measure: spec.Measure, Elapsed: time.Since(start), Stats: st,
 		}
 	} else {
-		var err error
-		res, err = sim.NewRunner().Run(spec)
+		shardI, shardN, err := sim.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if !sim.InShard(spec, shardI, shardN) {
+			fmt.Fprintf(os.Stderr, "dkipsim: %s not in shard %d/%d, skipping\n", spec.Label(), shardI, shardN)
+			return
+		}
+		var opts []sim.Option
+		if *cacheDir != "" {
+			store, err := sim.OpenStore(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts = append(opts, sim.WithStore(store))
+		}
+		res, err = sim.NewRunner(opts...).Run(spec)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -8,6 +8,8 @@
 //	experiments -run fig3 -csv
 //	experiments -run all -quick -json > artifact.json
 //	experiments -run all -parallel 4
+//	experiments -run all -cache-dir ~/.cache/dkip
+//	experiments -run all -cache-dir /shared/dkip -shard 0/2
 //
 // Each experiment simulates every benchmark of the relevant suite(s) on the
 // relevant architecture configurations and prints the same rows or series the
@@ -18,6 +20,15 @@
 // exactly once per invocation, -parallel bounds the worker pool, and -json
 // emits a machine-readable artifact holding every table, the structured
 // per-run records, and the runner's dedup metrics.
+//
+// -cache-dir adds a persistent content-addressed result store under the
+// in-process cache: a second invocation over the same directory simulates
+// nothing. -shard i/n restricts real simulation to a deterministic,
+// hash-stable 1/n slice of the run matrix so a full sweep can be split
+// across processes or machines sharing one cache directory; tables rendered
+// by a sharded run are incomplete (out-of-shard cells not already cached
+// read as zeros) — run every shard, then render with an unsharded pass over
+// the same -cache-dir.
 package main
 
 import (
@@ -49,6 +60,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
 		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
+		cacheDir = flag.String("cache-dir", "", "persistent result-store directory (warm-starts later invocations)")
+		shard    = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
 	)
 	flag.Parse()
 
@@ -79,7 +92,27 @@ func main() {
 		scale.Measure = *measure
 	}
 
-	runner := sim.NewRunner(sim.Parallel(*parallel))
+	opts := []sim.Option{sim.Parallel(*parallel)}
+	if *cacheDir != "" {
+		store, err := sim.OpenStore(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		opts = append(opts, sim.WithStore(store))
+	}
+	shardI, shardN, err := sim.ParseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if shardN > 1 {
+		opts = append(opts, sim.WithShard(shardI, shardN))
+		fmt.Fprintf(os.Stderr, "experiments: shard %d/%d: out-of-shard runs are skipped; "+
+			"tables are incomplete until an unsharded pass merges over the same -cache-dir\n",
+			shardI, shardN)
+	}
+	runner := sim.NewRunner(opts...)
 	experiments.UseRunner(runner)
 
 	ids := []string{*run}
@@ -120,7 +153,10 @@ func main() {
 	}
 	if *run == "all" {
 		m := runner.Metrics()
-		fmt.Fprintf(os.Stderr, "runner: %d runs requested, %d simulated, %d served by dedup/cache\n",
-			m.Requested, m.Simulated, m.Deduped+m.CacheHits)
+		fmt.Fprintf(os.Stderr, "runner: %d runs requested, %d simulated, %d served by dedup/cache, %d from disk, %d skipped (out of shard)\n",
+			m.Requested, m.Simulated, m.Deduped+m.CacheHits, m.DiskHits, m.Skipped)
+		if m.DiskWrites > 0 {
+			fmt.Fprintf(os.Stderr, "runner: %d results persisted to %s\n", m.DiskWrites, *cacheDir)
+		}
 	}
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorEnabled reports whether this test binary was built with the
+// race detector; golden_race_test.go carries the other value.
+const raceDetectorEnabled = false

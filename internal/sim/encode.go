@@ -23,9 +23,13 @@ type Result struct {
 	// Warmup/Measure echo the spec's scale.
 	Warmup  uint64 `json:"warmup"`
 	Measure uint64 `json:"measure"`
-	// Cached reports whether this record was served from the memo cache
-	// rather than freshly simulated.
+	// Cached reports whether this record was served from a cache tier
+	// (memo cache or persistent store) rather than freshly simulated.
 	Cached bool `json:"cached"`
+	// Skipped reports a placeholder produced for a spec outside the
+	// Runner's shard (WithShard) that no cache tier could serve: the
+	// identity fields are real, Stats is all zeros.
+	Skipped bool `json:"skipped,omitempty"`
 	// Elapsed is the wall time of the underlying simulation.
 	Elapsed time.Duration `json:"elapsed_ns"`
 	// Stats is the full simulator outcome.

@@ -6,12 +6,13 @@ import (
 	"sync"
 	"time"
 
+	"dkip/internal/pipeline"
 	"dkip/internal/workload"
 )
 
 // Metrics counts Runner activity. Requested = Simulated + Deduped +
-// CacheHits + failures; Uncacheable counts the subset of Simulated forced by
-// non-memoizable specs.
+// CacheHits + DiskHits + Skipped + failures; Uncacheable counts the subset
+// of Simulated forced by non-memoizable specs.
 type Metrics struct {
 	// Requested counts Run calls (including those served without
 	// simulating).
@@ -21,8 +22,17 @@ type Metrics struct {
 	// Deduped counts Run calls that joined an identical in-flight
 	// simulation (singleflight).
 	Deduped uint64 `json:"deduped"`
-	// CacheHits counts Run calls served from the memo cache.
+	// CacheHits counts Run calls served from the in-process memo cache.
 	CacheHits uint64 `json:"cache_hits"`
+	// DiskHits counts Run calls served from the persistent Store
+	// (WithStore) instead of simulating.
+	DiskHits uint64 `json:"disk_hits"`
+	// DiskWrites counts fresh results persisted to the Store.
+	DiskWrites uint64 `json:"disk_writes"`
+	// Skipped counts Run calls for specs outside this Runner's shard
+	// (WithShard) that no cache tier could serve; they return zero-stats
+	// placeholder Results with Skipped set.
+	Skipped uint64 `json:"skipped"`
 	// Uncacheable counts simulations of specs the cache could not hold
 	// (opaque configs without a Tag).
 	Uncacheable uint64 `json:"uncacheable"`
@@ -49,19 +59,44 @@ func OnSimulate(fn func(RunSpec)) Option {
 
 // NoMemo disables the memoizing result cache while keeping in-flight
 // deduplication: sequential repeats re-simulate, concurrent duplicates still
-// coalesce. Benchmarks measuring raw simulator speed use it.
+// coalesce. It also bypasses any attached Store — NoMemo means "always
+// really simulate". Benchmarks measuring raw simulator speed use it.
 func NoMemo() Option {
 	return func(r *Runner) { r.memo = false }
 }
 
+// WithStore attaches a persistent content-addressed Store as a second cache
+// tier under the in-process memo cache: Run consults it before simulating
+// (Metrics.DiskHits) and persists every fresh memoizable result after
+// simulating (Metrics.DiskWrites), so a warm cache directory survives the
+// process and can be shared across machines. Store I/O errors are treated
+// as misses — a broken disk degrades to PR-1 behaviour, it never fails a
+// run.
+func WithStore(s *Store) Option {
+	return func(r *Runner) { r.store = s }
+}
+
+// WithShard restricts real simulation to the specs assigned to shard i of n
+// (see InShard): out-of-shard specs are still served from the memo cache or
+// the Store when possible, but are never simulated — a miss yields a
+// zero-stats placeholder Result with Skipped set (Metrics.Skipped). Running
+// every shard with one shared Store populates exactly the unsharded result
+// set, after which an unsharded pass over the same Store serves everything
+// from disk.
+func WithShard(i, n int) Option {
+	return func(r *Runner) { r.shardI, r.shardN = i, n }
+}
+
 // Runner executes RunSpecs on a bounded worker pool with singleflight
-// deduplication and an in-process memoizing cache. It is safe for concurrent
-// use; one process-wide Runner shared by every experiment gives cross-figure
-// deduplication.
+// deduplication and an in-process memoizing cache, optionally backed by a
+// persistent Store. It is safe for concurrent use; one process-wide Runner
+// shared by every experiment gives cross-figure deduplication.
 type Runner struct {
-	sem  chan struct{}
-	hook func(RunSpec)
-	memo bool
+	sem            chan struct{}
+	hook           func(RunSpec)
+	memo           bool
+	store          *Store
+	shardI, shardN int
 
 	mu      sync.Mutex
 	calls   map[string]*call
@@ -97,10 +132,18 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 		return nil, err
 	}
 	if !spec.Memoizable() {
+		in := InShard(spec, r.shardI, r.shardN)
 		r.mu.Lock()
 		r.m.Requested++
-		r.m.Uncacheable++
+		if in {
+			r.m.Uncacheable++
+		} else {
+			r.m.Skipped++
+		}
 		r.mu.Unlock()
+		if !in {
+			return placeholder(spec, ""), nil
+		}
 		return r.simulate(spec)
 	}
 	key := spec.Key()
@@ -118,13 +161,52 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 		if c.err != nil {
 			return nil, c.err
 		}
-		return c.res.clone(true), nil
+		// A joiner of an out-of-shard call receives the placeholder, which
+		// no cache tier served: keep its Cached contract honest.
+		return c.res.clone(!c.res.Skipped), nil
 	}
 	c := &call{done: make(chan struct{})}
 	r.calls[key] = c
 	r.mu.Unlock()
 
+	// Read-through: consult the persistent store before simulating. A disk
+	// hit completes the memo-cache entry, so repeats within this process
+	// are ordinary CacheHits.
+	if r.memo && r.store != nil {
+		if res, ok := r.store.Get(key); ok {
+			c.res = res
+			r.mu.Lock()
+			r.m.DiskHits++
+			// Record the disk-served run (marked Cached) so -json
+			// artifacts of warm or merged passes still carry every
+			// per-run record.
+			r.results = append(r.results, res.clone(true))
+			r.mu.Unlock()
+			close(c.done)
+			return c.res.clone(true), nil
+		}
+	}
+	if !InShard(spec, r.shardI, r.shardN) {
+		// Out of shard with both tiers cold: resolve waiters with a
+		// placeholder, but drop the memo entry so a later run over a
+		// warmer store can still resolve the spec for real.
+		c.res = placeholder(spec, key)
+		r.mu.Lock()
+		r.m.Skipped++
+		delete(r.calls, key)
+		r.mu.Unlock()
+		close(c.done)
+		return c.res.clone(false), nil
+	}
+
 	c.res, c.err = r.simulate(spec)
+	// Write-behind: persist the fresh result once the simulation is done;
+	// a failed write is a cache non-event, not a run failure.
+	if c.err == nil && r.memo && r.store != nil && r.store.Put(c.res) == nil {
+		r.mu.Lock()
+		r.m.DiskWrites++
+		r.mu.Unlock()
+	}
 	r.mu.Lock()
 	if c.err != nil || !r.memo {
 		// Drop the entry so later Runs retry (or, without memoization,
@@ -137,6 +219,21 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 		return nil, c.err
 	}
 	return c.res.clone(false), nil
+}
+
+// placeholder builds the zero-stats Result an out-of-shard spec resolves to
+// when no cache tier holds the real record.
+func placeholder(spec RunSpec, key string) *Result {
+	return &Result{
+		Key:     key,
+		Arch:    spec.Arch.String(),
+		Config:  spec.ConfigName(),
+		Bench:   spec.Bench,
+		Warmup:  spec.Warmup,
+		Measure: spec.Measure,
+		Skipped: true,
+		Stats:   &pipeline.Stats{},
+	}
 }
 
 // simulate performs one real execution under the worker-pool bound.
@@ -202,14 +299,16 @@ func (r *Runner) Metrics() Metrics {
 	return r.m
 }
 
-// Results returns copies of the unique simulations performed so far, in
-// completion order — the per-run records behind cmd/experiments -json.
+// Results returns copies of the unique runs this Runner resolved so far —
+// fresh simulations (Cached false) and store-served records (Cached true) —
+// in completion order: the per-run records behind cmd/experiments -json.
+// Memo-cache repeats and out-of-shard placeholders are not recorded.
 func (r *Runner) Results() []*Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]*Result, len(r.results))
 	for i, res := range r.results {
-		out[i] = res.clone(false)
+		out[i] = res.clone(res.Cached)
 	}
 	return out
 }

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// storeVersion stamps every on-disk entry. Entries written under a different
+// version are treated as absent (re-simulated and overwritten), so a schema
+// change to Result or pipeline.Stats never corrupts a warm cache directory —
+// it just invalidates it.
+const storeVersion = 1
+
+// storeEntry is the on-disk envelope around one Result: the format version,
+// the content key the file is addressed by (echoed inside so a renamed or
+// misplaced file is detectable), and the record itself.
+type storeEntry struct {
+	Version int     `json:"version"`
+	Key     string  `json:"key"`
+	Result  *Result `json:"result"`
+}
+
+// Store is a persistent, content-addressed result cache: one JSON entry per
+// unique RunSpec.Key(), laid out as
+//
+//	<dir>/objects/<key[:2]>/<key>.json
+//
+// (a two-hex-character fan-out keeps directories small at full-sweep scale).
+// Writes are atomic — a temp file in the destination directory renamed into
+// place — so concurrent writers (two shards sharing one directory, or a
+// process killed mid-write) can never publish a torn entry; a truncated or
+// otherwise unreadable entry reads as a miss, never an error. A Store handle
+// is safe for concurrent use and for sharing one directory across processes.
+type Store struct {
+	dir string
+}
+
+// OpenStore opens the store rooted at dir, creating the directory tree if
+// needed.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("sim: open store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a content key to its entry file.
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, "objects", key[:2], key+".json")
+}
+
+// Get returns the stored Result for a content key. The second return is
+// false for any entry that cannot be served: missing, unreadable, truncated,
+// written under a different format version, or stored under a mismatched
+// key. Corruption is deliberately indistinguishable from a miss — the caller
+// re-simulates and the next Put heals the entry.
+func (s *Store) Get(key string) (*Result, bool) {
+	if len(key) < 2 {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var e storeEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, false
+	}
+	if e.Version != storeVersion || e.Key != key || e.Result == nil || e.Result.Stats == nil {
+		return nil, false
+	}
+	return e.Result, true
+}
+
+// Put persists a Result under its content key, atomically: the entry is
+// written to a temp file in the destination directory and renamed into
+// place. The stored record is normalized (Cached/Skipped cleared) so that a
+// result round-tripped through the store is byte-identical to the fresh one.
+func (s *Store) Put(res *Result) error {
+	if res == nil || len(res.Key) < 2 {
+		return fmt.Errorf("sim: store put: result carries no content key")
+	}
+	r := res.clone(false)
+	r.Skipped = false
+	data, err := json.MarshalIndent(storeEntry{Version: storeVersion, Key: r.Key, Result: r}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	path := s.path(r.Key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put: %w", err)
+	}
+	return nil
+}
+
+// List decodes every valid entry in the store, sorted by key — the manifest
+// API for merging shard outputs: read each shard's store (or one shared
+// directory) and Put the union wherever it should land. Entries that fail
+// the Get checks (corrupt, stale version) are silently skipped.
+func (s *Store) List() ([]*Result, error) {
+	var out []*Result
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
+			return nil
+		}
+		if res, ok := s.Get(strings.TrimSuffix(d.Name(), ".json")); ok {
+			out = append(out, res)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: store list: %w", err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Keys returns the sorted content keys of every valid entry.
+func (s *Store) Keys() ([]string, error) {
+	results, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]string, len(results))
+	for i, r := range results {
+		keys[i] = r.Key
+	}
+	return keys, nil
+}
