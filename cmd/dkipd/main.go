@@ -1,0 +1,104 @@
+// Command dkipd is the sweep daemon: one long-lived process-wide sim.Runner
+// (and optionally one persistent sim.Store) served over HTTP, so many
+// clients — cmd/experiments -remote, curl, CI shards — share a single
+// simulation backend instead of each invocation owning a private one.
+// Identical in-flight submissions from different clients join the same
+// singleflight simulation; anything resolved once is served from the memo
+// cache or the store forever after.
+//
+// Usage:
+//
+//	dkipd                                   # serve on :8321, no persistence
+//	dkipd -addr :9000 -parallel 8           # bound the simulation pool
+//	dkipd -cache-dir /var/cache/dkip        # persistent content-addressed store
+//	dkipd -max-requests 128 -wait-timeout 2m
+//
+// Endpoints (see internal/serve): POST /v1/runs, GET /v1/runs/{key},
+// GET /v1/results, GET /v1/metrics.
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains:
+// in-flight submissions finish simulating and their write-behind store
+// entries are flushed (both happen inside the request handler) before the
+// process exits, bounded by -drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dkip/internal/serve"
+	"dkip/internal/sim"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8321", "listen address")
+		parallel    = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", "", "persistent result-store directory (shared with cmd/experiments -cache-dir)")
+		maxRequests = flag.Int("max-requests", 64, "concurrently handled HTTP requests (independent of -parallel)")
+		waitTimeout = flag.Duration("wait-timeout", time.Minute, "how long GET /v1/runs/{key}?wait=1 may block")
+		drain       = flag.Duration("drain", 10*time.Minute, "shutdown grace period for in-flight simulations")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "dkipd: ", log.LstdFlags)
+
+	opts := []sim.Option{sim.Parallel(*parallel)}
+	var store *sim.Store
+	if *cacheDir != "" {
+		var err error
+		store, err = sim.OpenStore(*cacheDir)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		opts = append(opts, sim.WithStore(store))
+		logger.Printf("persistent store at %s", *cacheDir)
+	}
+	runner := sim.NewRunner(opts...)
+
+	srv := &http.Server{
+		Addr: *addr,
+		Handler: serve.NewServer(runner, store,
+			serve.MaxRequests(*maxRequests),
+			serve.WaitTimeout(*waitTimeout)),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Printf("serving on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		logger.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	logger.Printf("shutting down: draining in-flight simulations (up to %v)", *drain)
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Printf("drain incomplete: %v", err)
+		os.Exit(1)
+	}
+	m := runner.Metrics()
+	logger.Printf("done: %s", summarize(m))
+}
+
+// summarize renders the lifetime counters for the shutdown log line.
+func summarize(m sim.Metrics) string {
+	return fmt.Sprintf("%d requested, %d simulated, %d deduped, %d cache hits, %d disk hits, %d disk writes",
+		m.Requested, m.Simulated, m.Deduped, m.CacheHits, m.DiskHits, m.DiskWrites)
+}

@@ -10,6 +10,7 @@
 //	experiments -run all -parallel 4
 //	experiments -run all -cache-dir ~/.cache/dkip
 //	experiments -run all -cache-dir /shared/dkip -shard 0/2
+//	experiments -run fig9 -quick -remote http://localhost:8321
 //
 // Each experiment simulates every benchmark of the relevant suite(s) on the
 // relevant architecture configurations and prints the same rows or series the
@@ -29,6 +30,11 @@
 // by a sharded run are incomplete (out-of-shard cells not already cached
 // read as zeros) — run every shard, then render with an unsharded pass over
 // the same -cache-dir.
+//
+// -remote http://host:port forwards every run to a dkipd daemon instead of
+// simulating locally: the daemon owns the worker pool, cache tiers, and
+// sharding, so -parallel/-cache-dir/-shard are rejected alongside it —
+// configure them on the daemon.
 package main
 
 import (
@@ -39,6 +45,7 @@ import (
 	"time"
 
 	"dkip/internal/experiments"
+	"dkip/internal/serve"
 	"dkip/internal/sim"
 )
 
@@ -62,6 +69,7 @@ func main() {
 		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
 		cacheDir = flag.String("cache-dir", "", "persistent result-store directory (warm-starts later invocations)")
 		shard    = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
+		remote   = flag.String("remote", "", "run against a dkipd daemon at this base URL instead of simulating locally")
 	)
 	flag.Parse()
 
@@ -92,27 +100,42 @@ func main() {
 		scale.Measure = *measure
 	}
 
-	opts := []sim.Option{sim.Parallel(*parallel)}
-	if *cacheDir != "" {
-		store, err := sim.OpenStore(*cacheDir)
-		if err != nil {
+	var runner sim.Backend
+	if *remote != "" {
+		// The daemon owns the pool, cache tiers, and sharding; local
+		// equivalents alongside -remote would silently do nothing.
+		if *cacheDir != "" || *shard != "" || *parallel != 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -remote is exclusive with -parallel/-cache-dir/-shard (configure those on dkipd)")
+			os.Exit(2)
+		}
+		if err := serve.WaitHealthy(*remote, 5*time.Second); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		opts = append(opts, sim.WithStore(store))
+		runner = serve.NewClient(*remote)
+	} else {
+		opts := []sim.Option{sim.Parallel(*parallel)}
+		if *cacheDir != "" {
+			store, err := sim.OpenStore(*cacheDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			opts = append(opts, sim.WithStore(store))
+		}
+		shardI, shardN, err := sim.ParseShard(*shard)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if shardN > 1 {
+			opts = append(opts, sim.WithShard(shardI, shardN))
+			fmt.Fprintf(os.Stderr, "experiments: shard %d/%d: out-of-shard runs are skipped; "+
+				"tables are incomplete until an unsharded pass merges over the same -cache-dir\n",
+				shardI, shardN)
+		}
+		runner = sim.NewRunner(opts...)
 	}
-	shardI, shardN, err := sim.ParseShard(*shard)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
-	}
-	if shardN > 1 {
-		opts = append(opts, sim.WithShard(shardI, shardN))
-		fmt.Fprintf(os.Stderr, "experiments: shard %d/%d: out-of-shard runs are skipped; "+
-			"tables are incomplete until an unsharded pass merges over the same -cache-dir\n",
-			shardI, shardN)
-	}
-	runner := sim.NewRunner(opts...)
 	experiments.UseRunner(runner)
 
 	ids := []string{*run}
@@ -155,7 +178,7 @@ func main() {
 		m := runner.Metrics()
 		fmt.Fprintf(os.Stderr, "runner: %d runs requested, %d simulated, %d served by dedup/cache, %d from disk, %d skipped (out of shard)\n",
 			m.Requested, m.Simulated, m.Deduped+m.CacheHits, m.DiskHits, m.Skipped)
-		if m.DiskWrites > 0 {
+		if m.DiskWrites > 0 && *cacheDir != "" {
 			fmt.Fprintf(os.Stderr, "runner: %d results persisted to %s\n", m.DiskWrites, *cacheDir)
 		}
 	}

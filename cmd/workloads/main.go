@@ -1,7 +1,8 @@
 // Command workloads characterizes the synthetic SPEC2000 stand-ins: the
 // instruction mix, branch behaviour, and cache behaviour each generator
 // actually produces, measured rather than configured. Use it to audit the
-// substitution documented in DESIGN.md.
+// workload substitution documented in README.md ("Workload substitution")
+// and in internal/workload's package comment.
 //
 //	workloads                  # characterize every benchmark
 //	workloads -bench mcf       # one benchmark

@@ -134,7 +134,9 @@ type Config struct {
 
 	// NewPredictor builds the front-end branch predictor (default the
 	// perceptron predictor of Table 2).
-	NewPredictor func() predictor.Predictor
+	// Function fields cannot be serialized: they are excluded from JSON
+	// (the serve layer's wire format) just as the content hash skips them.
+	NewPredictor func() predictor.Predictor `json:"-"`
 }
 
 func (c Config) withDefaults() Config {

@@ -14,7 +14,7 @@ import (
 // instruction at the Aging-ROB head is short-latency but still in flight —
 // against an idealized stage that never stalls. §3.2 reports the stall costs
 // about 0.7% IPC on average.
-func AblationAnalyze(r *sim.Runner, s Scale) *Table {
+func AblationAnalyze(r sim.Backend, s Scale) *Table {
 	ideal := core.Config{Name: "ideal-analyze", IdealAnalyze: true}
 	var jobs []job
 	for _, b := range workload.Names() {
@@ -36,7 +36,7 @@ func AblationAnalyze(r *sim.Runner, s Scale) *Table {
 // AblationAgingTimer sweeps the Aging-ROB timer. §3.2 requires the timer to
 // cover the L2 tag access (so a load's hit/miss status is known when it is
 // analyzed); a longer timer only delays classification and grows the ROB.
-func AblationAgingTimer(r *sim.Runner, s Scale) *Table {
+func AblationAgingTimer(r sim.Backend, s Scale) *Table {
 	timers := []int{8, 16, 32, 64}
 	var jobs []job
 	for _, timer := range timers {
@@ -60,7 +60,7 @@ func AblationAgingTimer(r *sim.Runner, s Scale) *Table {
 // AblationLLIBSize sweeps the LLIB capacity. §4.2 notes the FIFOs can be
 // made larger than the SLIQ at little cost, and Figure 13/14 show occupancy
 // rarely demands the full 2048.
-func AblationLLIBSize(r *sim.Runner, s Scale) *Table {
+func AblationLLIBSize(r sim.Backend, s Scale) *Table {
 	sizes := []int{256, 512, 1024, 2048, 4096}
 	var jobs []job
 	for _, size := range sizes {
@@ -84,7 +84,7 @@ func AblationLLIBSize(r *sim.Runner, s Scale) *Table {
 // AblationLLRF compares the banked, capacity-limited LLRF against ideal
 // register storage, and reports how often bank conflicts occurred. §3.2 and
 // §4.5 argue the 8×256 banked organization is never the bottleneck.
-func AblationLLRF(r *sim.Runner, s Scale) *Table {
+func AblationLLRF(r sim.Backend, s Scale) *Table {
 	ideal := core.Config{Name: "ideal-llrf", IdealLLRF: true}
 	var jobs []job
 	for _, b := range workload.Names() {
@@ -115,7 +115,7 @@ func AblationLLRF(r *sim.Runner, s Scale) *Table {
 // and the D-KIP. Runahead turns independent misses into prefetches but
 // cannot execute the miss-dependent code, so the D-KIP should retain a clear
 // SpecFP lead while runahead narrows part of the gap.
-func AblationRunahead(r *sim.Runner, s Scale) *Table {
+func AblationRunahead(r sim.Backend, s Scale) *Table {
 	var jobs []job
 	for _, b := range workload.Names() {
 		jobs = append(jobs, runOOO("R10-64/"+b, b, ooo.R10K64(), s))
@@ -142,7 +142,7 @@ func AblationRunahead(r *sim.Runner, s Scale) *Table {
 // AblationCheckpoint compares checkpoint-placement policies under a
 // replay-distance recovery model: stride-only checkpoints vs additionally
 // anchoring checkpoints on low-confidence branches (Akkary et al. [12]).
-func AblationCheckpoint(r *sim.Runner, s Scale) *Table {
+func AblationCheckpoint(r sim.Backend, s Scale) *Table {
 	stride := core.Config{Name: "stride", ReplayRecovery: true}
 	lowconf := core.Config{Name: "lowconf", ReplayRecovery: true, CheckpointOnLowConf: true}
 	var jobs []job
@@ -170,7 +170,7 @@ func AblationCheckpoint(r *sim.Runner, s Scale) *Table {
 // small core and the D-KIP itself. Next-4-line prefetching rescues much of
 // the streaming FP loss on the small core but cannot touch pointer chains;
 // the D-KIP's window subsumes most of what prefetching provides.
-func AblationPrefetch(r *sim.Runner, s Scale) *Table {
+func AblationPrefetch(r sim.Backend, s Scale) *Table {
 	pf := mem.DefaultConfig()
 	pf.PrefetchDegree = 4
 	r64 := ooo.R10K64()
@@ -205,7 +205,7 @@ func AblationPrefetch(r *sim.Runner, s Scale) *Table {
 // memory-level parallelism the D-KIP's kilo-instruction window exposes is
 // only realized if the memory system can track that many outstanding misses.
 // The paper assumes an unconstrained miss path; this quantifies the demand.
-func AblationMSHR(r *sim.Runner, s Scale) *Table {
+func AblationMSHR(r sim.Backend, s Scale) *Table {
 	counts := []int{1, 4, 8, 16, 32, 0} // 0 = unlimited
 	label := func(n int) string {
 		if n == 0 {
@@ -236,7 +236,7 @@ func AblationMSHR(r *sim.Runner, s Scale) *Table {
 // AblationSingleLLIB quantifies the dual LLIB + dual MP organization against
 // a single merged pair — the paper credits part of the D-KIP's SpecFP edge
 // over the KILO processor to the split (§4.2).
-func AblationSingleLLIB(r *sim.Runner, s Scale) *Table {
+func AblationSingleLLIB(r sim.Backend, s Scale) *Table {
 	single := core.Config{Name: "single", SingleLLIB: true}
 	var jobs []job
 	for _, b := range workload.Names() {

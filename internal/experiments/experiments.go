@@ -95,11 +95,12 @@ func (t *Table) CSV() string {
 }
 
 // registry maps experiment ids to their implementations. Every
-// implementation simulates exclusively through the sim.Runner it is handed,
-// so overlapping runs across experiments memoize per process.
+// implementation simulates exclusively through the sim.Backend it is handed
+// — a local Runner (overlapping runs across experiments memoize per
+// process) or a serve.Client forwarding to a shared dkipd daemon.
 var registry = map[string]struct {
 	title string
-	fn    func(*sim.Runner, Scale) *Table
+	fn    func(sim.Backend, Scale) *Table
 }{
 	"table1": {"Memory subsystem configurations (limit study)", Table1},
 	"table2": {"Invariant architectural parameters", Table2},
@@ -143,27 +144,27 @@ func Title(id string) (string, bool) {
 	return e.title, ok
 }
 
-// shared is the process-wide Runner behind Run: every figure, table,
+// shared is the process-wide Backend behind Run: every figure, table,
 // ablation, command, and benchmark that goes through this package shares its
 // memo cache, so e.g. the default D-KIP simulated for Figure 9 is reused by
 // Figures 13/14 and most ablation baselines.
 var (
 	sharedMu sync.Mutex
-	shared   = sim.NewRunner()
+	shared   sim.Backend = sim.NewRunner()
 )
 
-// Runner returns the process-wide shared Runner (for metrics inspection and
+// Runner returns the process-wide shared Backend (for metrics inspection and
 // cmd wiring).
-func Runner() *sim.Runner {
+func Runner() sim.Backend {
 	sharedMu.Lock()
 	defer sharedMu.Unlock()
 	return shared
 }
 
-// UseRunner replaces the process-wide shared Runner, returning the previous
-// one. cmd/experiments installs a Runner sized by -parallel; tests install
-// instrumented Runners.
-func UseRunner(r *sim.Runner) *sim.Runner {
+// UseRunner replaces the process-wide shared Backend, returning the previous
+// one. cmd/experiments installs a Runner sized by -parallel (or a remote
+// client when -remote is set); tests install instrumented Runners.
+func UseRunner(r sim.Backend) sim.Backend {
 	sharedMu.Lock()
 	defer sharedMu.Unlock()
 	prev := shared
@@ -176,13 +177,25 @@ func Run(id string, s Scale) (*Table, error) {
 	return RunWith(Runner(), id, s)
 }
 
-// RunWith executes one experiment by id, simulating through r.
-func RunWith(r *sim.Runner, id string, s Scale) (*Table, error) {
+// RunWith executes one experiment by id, simulating through r. Backend
+// failures raised out of runAll deep inside an experiment (reachable for a
+// remote backend whose daemon restarts mid-sweep) surface as ordinary
+// errors, not crashes.
+func RunWith(r sim.Backend, id string, s Scale) (t *Table, err error) {
 	e, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %s)", id, strings.Join(IDs(), " "))
 	}
-	t := e.fn(r, s)
+	defer func() {
+		if rec := recover(); rec != nil {
+			be, ok := rec.(backendError)
+			if !ok {
+				panic(rec)
+			}
+			t, err = nil, be.err
+		}
+	}()
+	t = e.fn(r, s)
 	t.ID = id
 	if t.Title == "" {
 		t.Title = e.title
@@ -199,10 +212,14 @@ type job struct {
 	spec sim.RunSpec
 }
 
-// runAll executes jobs through the Runner's worker pool and returns stats
+// backendError carries a Backend failure out of runAll, through the
+// error-less experiment functions, to RunWith's recover.
+type backendError struct{ err error }
+
+// runAll executes jobs through the backend's worker pool and returns stats
 // keyed by job key. Identical specs — within this call or against anything
-// the Runner has executed before — simulate once.
-func runAll(r *sim.Runner, jobs []job) map[string]*pipeline.Stats {
+// the backend has executed before — simulate once.
+func runAll(r sim.Backend, jobs []job) map[string]*pipeline.Stats {
 	specs := make([]sim.RunSpec, len(jobs))
 	for i, j := range jobs {
 		specs[i] = j.spec
@@ -210,8 +227,10 @@ func runAll(r *sim.Runner, jobs []job) map[string]*pipeline.Stats {
 	results, err := r.RunAll(specs)
 	if err != nil {
 		// Specs are built from registered configurations and benchmark
-		// names; a failure here is a programming error.
-		panic(fmt.Sprintf("experiments: %v", err))
+		// names, so a local failure is a programming error — but a remote
+		// backend legitimately fails on transport; RunWith turns this into
+		// an ordinary error either way.
+		panic(backendError{fmt.Errorf("experiments: %w", err)})
 	}
 	out := make(map[string]*pipeline.Stats, len(jobs))
 	for i, j := range jobs {

@@ -18,7 +18,7 @@ var WindowSizes = []int{32, 48, 64, 128, 256, 512, 1024, 2048, 4096}
 // windowSweep produces Figure 1 (SpecINT) or Figure 2 (SpecFP): average IPC
 // of a ROB-limited 4-way core for each memory subsystem of Table 1 across
 // window sizes.
-func windowSweep(r *sim.Runner, suite workload.Suite, s Scale) *Table {
+func windowSweep(r sim.Backend, suite workload.Suite, s Scale) *Table {
 	mems := mem.Table1Configs()
 	var jobs []job
 	for _, mc := range mems {
@@ -55,16 +55,16 @@ func windowSweep(r *sim.Runner, suite workload.Suite, s Scale) *Table {
 }
 
 // Figure1 reproduces the SpecINT memory-wall limit study.
-func Figure1(r *sim.Runner, s Scale) *Table { return windowSweep(r, workload.SpecINT, s) }
+func Figure1(r sim.Backend, s Scale) *Table { return windowSweep(r, workload.SpecINT, s) }
 
 // Figure2 reproduces the SpecFP memory-wall limit study.
-func Figure2(r *sim.Runner, s Scale) *Table { return windowSweep(r, workload.SpecFP, s) }
+func Figure2(r sim.Backend, s Scale) *Table { return windowSweep(r, workload.SpecFP, s) }
 
 // Figure3 reproduces the decode→issue distance histogram: SpecFP on an
 // effectively unconstrained window with 400-cycle memory. The paper reports
 // ~70% of instructions issuing within 300 cycles, ~11% near 400 (one miss)
 // and ~4% near 800 (a chain of two misses).
-func Figure3(r *sim.Runner, s Scale) *Table {
+func Figure3(r sim.Backend, s Scale) *Table {
 	var jobs []job
 	for _, b := range workload.SuiteNames(workload.SpecFP) {
 		jobs = append(jobs, runOOO("u/"+b, b, ooo.LimitCore(4096, mem.DefaultConfig()), s))
@@ -118,7 +118,7 @@ func fig9Configs() []struct {
 
 // Figure9 reproduces the headline comparison: R10-64, R10-256, KILO-1024 and
 // D-KIP-2048 average IPC on each suite.
-func Figure9(r *sim.Runner, s Scale) *Table {
+func Figure9(r sim.Backend, s Scale) *Table {
 	var jobs []job
 	for _, a := range fig9Configs() {
 		for _, b := range workload.Names() {
@@ -174,7 +174,7 @@ func dkipSched(cp, mp schedPoint) core.Config {
 
 // Figure10 reproduces the scheduling-policy and queue-size study on SpecFP:
 // CP ∈ {in-order, OoO-20/40/60/80} × MP ∈ {in-order, OoO-20, OoO-40}.
-func Figure10(r *sim.Runner, s Scale) *Table {
+func Figure10(r sim.Backend, s Scale) *Table {
 	var jobs []job
 	for _, cp := range cpPoints {
 		for _, mp := range mpPoints {
@@ -248,7 +248,7 @@ func cacheSweepConfigs(l2 int) []struct {
 	}
 }
 
-func cacheSweep(r *sim.Runner, suite workload.Suite, s Scale) *Table {
+func cacheSweep(r sim.Backend, suite workload.Suite, s Scale) *Table {
 	var jobs []job
 	for _, l2 := range L2Sizes {
 		for _, a := range cacheSweepConfigs(l2) {
@@ -292,14 +292,14 @@ func cacheSweep(r *sim.Runner, suite workload.Suite, s Scale) *Table {
 }
 
 // Figure11 reproduces the SpecINT L2-size sensitivity study.
-func Figure11(r *sim.Runner, s Scale) *Table { return cacheSweep(r, workload.SpecINT, s) }
+func Figure11(r sim.Backend, s Scale) *Table { return cacheSweep(r, workload.SpecINT, s) }
 
 // Figure12 reproduces the SpecFP L2-size sensitivity study.
-func Figure12(r *sim.Runner, s Scale) *Table { return cacheSweep(r, workload.SpecFP, s) }
+func Figure12(r sim.Backend, s Scale) *Table { return cacheSweep(r, workload.SpecFP, s) }
 
 // llibOccupancy produces Figures 13/14: per-benchmark maxima of simultaneous
 // instructions and registers in the suite's LLIB on the default D-KIP.
-func llibOccupancy(r *sim.Runner, suite workload.Suite, s Scale) *Table {
+func llibOccupancy(r sim.Backend, suite workload.Suite, s Scale) *Table {
 	var jobs []job
 	for _, b := range workload.SuiteNames(suite) {
 		jobs = append(jobs, runDKIP("d/"+b, b, core.Config{}, s))
@@ -337,7 +337,7 @@ func llibOccupancy(r *sim.Runner, suite workload.Suite, s Scale) *Table {
 }
 
 // Figure13 reproduces the SpecINT LLIB occupancy maxima.
-func Figure13(r *sim.Runner, s Scale) *Table { return llibOccupancy(r, workload.SpecINT, s) }
+func Figure13(r sim.Backend, s Scale) *Table { return llibOccupancy(r, workload.SpecINT, s) }
 
 // Figure14 reproduces the SpecFP LLIB occupancy maxima.
-func Figure14(r *sim.Runner, s Scale) *Table { return llibOccupancy(r, workload.SpecFP, s) }
+func Figure14(r sim.Backend, s Scale) *Table { return llibOccupancy(r, workload.SpecFP, s) }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"sync"
 	"testing"
 
@@ -88,4 +89,23 @@ func TestUseRunnerSwaps(t *testing.T) {
 		t.Error("Runner() does not see the replacement")
 	}
 	UseRunner(orig)
+}
+
+// failingBackend simulates a remote daemon dying mid-sweep: every submission
+// errors at the transport.
+type failingBackend struct{}
+
+func (failingBackend) Run(sim.RunSpec) (*sim.Result, error) { return nil, errors.New("daemon gone") }
+func (failingBackend) RunAll([]sim.RunSpec) ([]*sim.Result, error) {
+	return nil, errors.New("daemon gone")
+}
+func (failingBackend) Results() []*sim.Result { return nil }
+func (failingBackend) Metrics() sim.Metrics   { return sim.Metrics{} }
+
+// A Backend failure inside an experiment must surface as RunWith's error,
+// not crash the process: with -remote, transport failures are routine.
+func TestRunWithSurfacesBackendErrors(t *testing.T) {
+	if _, err := RunWith(failingBackend{}, "fig9", QuickScale()); err == nil {
+		t.Fatal("backend failure did not surface as an error")
+	}
 }

@@ -11,7 +11,7 @@ import (
 
 // Table1 renders (and validates) the six memory subsystems of the limit
 // study exactly as the paper's Table 1 lists them.
-func Table1(*sim.Runner, Scale) *Table {
+func Table1(sim.Backend, Scale) *Table {
 	t := &Table{Columns: []string{"config", "L1 access", "L1 size", "L2 access", "L2 size", "memory access"}}
 	for _, c := range mem.Table1Configs() {
 		if err := c.Validate(); err != nil {
@@ -43,7 +43,7 @@ func Table1(*sim.Runner, Scale) *Table {
 
 // Table2 renders the invariant architectural parameters from the effective
 // default configuration, confirming the code matches the paper's Table 2.
-func Table2(*sim.Runner, Scale) *Table {
+func Table2(sim.Backend, Scale) *Table {
 	c := core.DefaultConfig()
 	t := &Table{Columns: []string{"parameter", "value", "paper"}}
 	add := func(name string, v, paper interface{}) {
@@ -72,7 +72,7 @@ func Table2(*sim.Runner, Scale) *Table {
 }
 
 // Table3 renders the variable-parameter defaults (paper Table 3).
-func Table3(*sim.Runner, Scale) *Table {
+func Table3(sim.Backend, Scale) *Table {
 	c := core.DefaultConfig()
 	t := &Table{Columns: []string{"parameter", "value", "paper"}}
 	add := func(name string, v, paper interface{}) {
@@ -97,7 +97,7 @@ func Table3(*sim.Runner, Scale) *Table {
 // Section43 summarizes the scheduler findings of §4.3 for both suites:
 // out-of-order vs in-order Cache Processor, Memory Processor sensitivity,
 // and the share of instructions the MP processes on integer codes.
-func Section43(r *sim.Runner, s Scale) *Table {
+func Section43(r sim.Backend, s Scale) *Table {
 	configs := []core.Config{
 		dkipSched(cpPoints[0], mpPoints[0]), // INO / MP-INO
 		dkipSched(cpPoints[2], mpPoints[0]), // OOO-40 / MP-INO
@@ -141,7 +141,7 @@ func Section43(r *sim.Runner, s Scale) *Table {
 // Section44 measures the Cache Processor's share of committed instructions
 // as the L2 grows, on SpecFP (paper: 67% at 64KB to 77% at 4MB for the
 // OOO-80/OOO-40 configuration).
-func Section44(r *sim.Runner, s Scale) *Table {
+func Section44(r sim.Backend, s Scale) *Table {
 	sizes := []int{64 << 10, 512 << 10, 4 << 20}
 	var jobs []job
 	for _, l2 := range sizes {

@@ -66,7 +66,9 @@ type Config struct {
 
 	// NewPredictor constructs the branch predictor; nil defaults to the
 	// perceptron predictor of Table 2.
-	NewPredictor func() predictor.Predictor
+	// Function fields cannot be serialized: they are excluded from JSON
+	// (the serve layer's wire format) just as the content hash skips them.
+	NewPredictor func() predictor.Predictor `json:"-"`
 
 	// SLIQ enables the Slow Lane Instruction Queue: instructions that
 	// have waited in an issue queue longer than SLIQTimer cycles without

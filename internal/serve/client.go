@@ -1,0 +1,231 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"dkip/internal/sim"
+)
+
+// Client is a sim.Backend that forwards every spec to a dkipd daemon. Run
+// and RunAll block until the daemon resolves the submission (sharing its
+// singleflight, memo cache, and store with every other client); Results
+// accumulates the unique records this client has seen, key-sorted, so
+// cmd/experiments -remote -json emits the same per-run artifact section a
+// local run would. Metrics reports the daemon's cumulative counters — they
+// cover all clients, which is the point: a second client submitting the
+// same sweep shows up there as dedup, not as fresh simulation.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	mu      sync.Mutex
+	results map[string]*sim.Result
+}
+
+var _ sim.Backend = (*Client)(nil)
+
+// NewClient builds a client for the daemon at base (e.g.
+// "http://localhost:8321"). No request timeout is set: full-scale
+// simulations legitimately take minutes, and the daemon bounds its own work.
+func NewClient(base string) *Client {
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		results: make(map[string]*sim.Result),
+	}
+}
+
+// Run submits one spec and blocks until the daemon resolves it.
+func (c *Client) Run(spec sim.RunSpec) (*sim.Result, error) {
+	results, err := c.RunAll([]sim.RunSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunAll submits the batch in one POST /v1/runs and blocks until every run
+// resolves; results[i] corresponds to specs[i]. Specs carrying opaque
+// function fields are refused before anything is sent.
+func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
+	wire := make([]Spec, len(specs))
+	for i, s := range specs {
+		ws, err := EncodeSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		wire[i] = ws
+	}
+	body, err := json.Marshal(struct {
+		Specs []Spec `json:"specs"`
+	}{wire})
+	if err != nil {
+		return nil, fmt.Errorf("serve: encode submission: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("serve: submit to %s: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var rr RunsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		return nil, fmt.Errorf("serve: decode response: %w", err)
+	}
+	if len(rr.Results) != len(specs) {
+		return nil, fmt.Errorf("serve: daemon returned %d results for %d specs", len(rr.Results), len(specs))
+	}
+	c.mu.Lock()
+	for _, res := range rr.Results {
+		if res != nil && res.Key != "" {
+			if _, seen := c.results[res.Key]; !seen {
+				// Keep a private copy: the returned records are the
+				// caller's to mutate, per the Backend contract.
+				c.results[res.Key] = res.WithCached(res.Cached)
+			}
+		}
+	}
+	c.mu.Unlock()
+	return rr.Results, nil
+}
+
+// Get fetches one result by content key. With wait set the daemon holds the
+// request until the key resolves (bounded by its wait timeout); otherwise a
+// miss returns an error wrapping the daemon's 404.
+func (c *Client) Get(key string, wait bool) (*sim.Result, error) {
+	u := c.base + "/v1/runs/" + url.PathEscape(key)
+	if wait {
+		u += "?wait=1"
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("serve: get %s: %w", key, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var res sim.Result
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, fmt.Errorf("serve: decode result: %w", err)
+	}
+	return &res, nil
+}
+
+// Manifest streams GET /v1/results (the daemon's store manifest, or its
+// in-process results when it runs storeless), optionally filtered by arch
+// and bench; empty filters match everything.
+func (c *Client) Manifest(arch, bench string) ([]*sim.Result, error) {
+	q := url.Values{}
+	if arch != "" {
+		q.Set("arch", arch)
+	}
+	if bench != "" {
+		q.Set("bench", bench)
+	}
+	u := c.base + "/v1/results"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out []*sim.Result
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var res sim.Result
+		if err := dec.Decode(&res); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("serve: decode manifest: %w", err)
+		}
+		out = append(out, &res)
+	}
+}
+
+// Results returns copies of the unique runs this client has observed,
+// sorted by content key — the same contract as sim.Runner.Results, so
+// remote and local artifacts compare key-for-key.
+func (c *Client) Results() []*sim.Result {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*sim.Result, 0, len(c.results))
+	for _, res := range c.results {
+		out = append(out, res.WithCached(res.Cached))
+	}
+	sim.SortResults(out)
+	return out
+}
+
+// Metrics fetches the daemon's cumulative counters. A transport failure
+// reports zero metrics: Backend's Metrics is an observability read, and by
+// the time it is called the submissions it describes have already succeeded.
+func (c *Client) Metrics() sim.Metrics {
+	resp, err := c.hc.Get(c.base + "/v1/metrics")
+	if err != nil {
+		return sim.Metrics{}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return sim.Metrics{}
+	}
+	var mr MetricsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return sim.Metrics{}
+	}
+	return mr.Metrics
+}
+
+// httpError turns a non-200 daemon answer into an error carrying the status
+// and the (plain text) body the handlers write.
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	msg := strings.TrimSpace(string(body))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("serve: daemon answered %d: %s", resp.StatusCode, msg)
+}
+
+// WaitHealthy polls GET /v1/metrics until the daemon answers or the budget
+// elapses — the handshake cmd/experiments -remote and the CI smoke test use
+// before submitting.
+func WaitHealthy(base string, budget time.Duration) error {
+	base = strings.TrimRight(base, "/")
+	deadline := time.Now().Add(budget)
+	// Each attempt gets its own transport timeout: without one, a single
+	// connect to a blackholed address blocks for the OS default (minutes)
+	// and the budget is never consulted.
+	attempt := &http.Client{Timeout: 2 * time.Second}
+	var lastErr error
+	for {
+		resp, err := attempt.Get(base + "/v1/metrics")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			err = fmt.Errorf("serve: daemon answered %s", resp.Status)
+		}
+		lastErr = err
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: daemon at %s not healthy after %v: %w", base, budget, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dkip/internal/sim"
+)
+
+// Server serves one process-wide sim.Runner (and its optional sim.Store)
+// over HTTP. The work-bearing endpoints (submissions, manifest streams)
+// funnel through a bounded concurrency gate that is independent of the
+// Runner's simulation pool: -parallel bounds how many simulations advance at
+// once, the gate bounds how many requests are being decoded/streamed, so a
+// flood of clients queues at the door instead of exhausting daemon memory.
+type Server struct {
+	runner *sim.Runner
+	store  *sim.Store
+
+	gate        chan struct{}
+	waitTimeout time.Duration
+	mux         *http.ServeMux
+
+	// statsMu guards a short-TTL cache of Store.Stats: /v1/metrics is
+	// ungated and polled as a health check, and a full directory walk per
+	// poll would scale with store size — eventually failing WaitHealthy's
+	// per-attempt timeout against a perfectly healthy daemon.
+	statsMu sync.Mutex
+	stats   sim.StoreStats
+	statsAt time.Time
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// MaxRequests bounds concurrently-handled HTTP requests (default 64);
+// n <= 0 keeps the default. Excess requests wait for a slot (bounded by the
+// client's context) rather than failing fast.
+func MaxRequests(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.gate = make(chan struct{}, n)
+		}
+	}
+}
+
+// WaitTimeout bounds how long GET /v1/runs/{key}?wait=1 blocks for an
+// unresolved key before answering 504 (default one minute).
+func WaitTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.waitTimeout = d
+		}
+	}
+}
+
+// NewServer wraps a Runner and an optional Store (nil disables the manifest
+// fallback to disk; /v1/results then reports what the Runner resolved this
+// process). The Store should be the same one the Runner was built with
+// (sim.WithStore) so GET-by-key and the manifest see every persisted result.
+func NewServer(r *sim.Runner, store *sim.Store, opts ...ServerOption) *Server {
+	s := &Server{
+		runner:      r,
+		store:       store,
+		gate:        make(chan struct{}, 64),
+		waitTimeout: time.Minute,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	s.mux = http.NewServeMux()
+	// Only the work-bearing endpoints pass the gate. GET-by-key (even a
+	// blocked ?wait=1 — one goroutine and a channel) and the metrics
+	// health check are deliberately ungated: a full house of waiters must
+	// never starve the submission that would resolve them, nor make the
+	// daemon look dead to WaitHealthy.
+	s.mux.HandleFunc("POST /v1/runs", s.gated(s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/results", s.gated(s.handleResults))
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// gated wraps a handler in the request-concurrency gate: acquire a slot (or
+// give up when the client does), then dispatch.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+		case <-r.Context().Done():
+			http.Error(w, "serve: overloaded, request context expired while queued", http.StatusServiceUnavailable)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// runsRequest is the POST /v1/runs body: either a batch under "specs" or a
+// single bare Spec object (its fields are promoted from the embedded Spec).
+type runsRequest struct {
+	Specs []Spec `json:"specs"`
+	Spec
+}
+
+// RunsResponse answers POST /v1/runs: one Result per submitted spec, in
+// submission order, plus the daemon's cumulative metrics so clients can
+// observe cross-client dedup.
+type RunsResponse struct {
+	Results []*sim.Result `json:"results"`
+	Metrics sim.Metrics   `json:"metrics"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req runsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	wire := req.Specs
+	if len(wire) == 0 {
+		if req.Arch == "" {
+			http.Error(w, "serve: empty submission: want a spec object or {\"specs\": [...]}", http.StatusBadRequest)
+			return
+		}
+		wire = []Spec{req.Spec}
+	} else if req.Arch != "" {
+		// Mixing the two forms would silently drop the inline spec.
+		http.Error(w, "serve: ambiguous submission: a bare spec and a \"specs\" batch in one body", http.StatusBadRequest)
+		return
+	}
+	// Validate the whole batch before simulating any of it: a submission
+	// either runs in full or is rejected in full.
+	specs := make([]sim.RunSpec, len(wire))
+	for i, ws := range wire {
+		spec, err := ws.RunSpec()
+		if err == nil {
+			err = spec.Validate()
+		}
+		if err != nil {
+			http.Error(w, fmt.Sprintf("serve: spec %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+		specs[i] = spec
+	}
+	results, err := s.runner.RunAll(specs)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("serve: %v", err), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, RunsResponse{Results: results, Metrics: s.runner.Metrics()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if res, ok := s.runner.Lookup(key); ok {
+		writeJSON(w, res)
+		return
+	}
+	if s.store != nil {
+		if res, ok := s.store.Get(key); ok {
+			writeJSON(w, res.WithCached(true))
+			return
+		}
+	}
+	if v, _ := strconv.ParseBool(r.URL.Query().Get("wait")); !v {
+		http.Error(w, fmt.Sprintf("serve: no result for key %q", key), http.StatusNotFound)
+		return
+	}
+	ch, cancel := s.runner.Subscribe(key)
+	defer cancel()
+	// The subscription only observes this process's Runs; the store may be
+	// populated at any moment by another process sharing the directory (a
+	// sharded sweep, a second daemon), so poll it alongside the wait.
+	var storeTick <-chan time.Time
+	if s.store != nil {
+		ticker := time.NewTicker(500 * time.Millisecond)
+		defer ticker.Stop()
+		storeTick = ticker.C
+		if res, ok := s.store.Get(key); ok {
+			writeJSON(w, res.WithCached(true))
+			return
+		}
+	}
+	timer := time.NewTimer(s.waitTimeout)
+	defer timer.Stop()
+	for {
+		select {
+		case res := <-ch:
+			writeJSON(w, res)
+			return
+		case <-storeTick:
+			if res, ok := s.store.Get(key); ok {
+				writeJSON(w, res.WithCached(true))
+				return
+			}
+		case <-timer.C:
+			http.Error(w, fmt.Sprintf("serve: key %q did not resolve within %v", key, s.waitTimeout), http.StatusGatewayTimeout)
+			return
+		case <-r.Context().Done():
+			// Client went away; nothing to write.
+			return
+		}
+	}
+}
+
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	arch, bench := r.URL.Query().Get("arch"), r.URL.Query().Get("bench")
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	wrote := false
+	emit := func(res *sim.Result) error {
+		if (arch != "" && res.Arch != arch) || (bench != "" && res.Bench != bench) {
+			return nil
+		}
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+		wrote = true
+		return nil
+	}
+	if s.store != nil {
+		// Stream straight off the store walk — one decoded entry in
+		// memory at a time, whatever the manifest size.
+		if err := s.store.Walk(emit); err != nil && !wrote {
+			// A filesystem error before the first record still has a
+			// status line to carry it. Later errors (including a client
+			// that disconnected mid-stream) cannot change the committed
+			// 200; the stream just ends early.
+			http.Error(w, fmt.Sprintf("serve: %v", err), http.StatusInternalServerError)
+		}
+		return
+	}
+	for _, res := range s.runner.Results() {
+		if emit(res) != nil {
+			return
+		}
+	}
+}
+
+// MetricsResponse answers GET /v1/metrics.
+type MetricsResponse struct {
+	Metrics sim.Metrics     `json:"metrics"`
+	Store   *sim.StoreStats `json:"store,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	resp := MetricsResponse{Metrics: s.runner.Metrics()}
+	if s.store != nil {
+		if st, ok := s.storeStats(); ok {
+			resp.Store = &st
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// storeStats serves Store.Stats through a 5-second cache; staleness is
+// bounded and cross-process writers are still observed, which an
+// incrementally maintained counter could not promise.
+func (s *Server) storeStats() (sim.StoreStats, bool) {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	if !s.statsAt.IsZero() && time.Since(s.statsAt) < 5*time.Second {
+		return s.stats, true
+	}
+	st, err := s.store.Stats()
+	if err != nil {
+		return sim.StoreStats{}, false
+	}
+	s.stats, s.statsAt = st, time.Now()
+	return st, true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

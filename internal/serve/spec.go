@@ -1,0 +1,93 @@
+// Package serve exposes the run-orchestration layer (internal/sim) over
+// HTTP: a Server wrapping one process-wide sim.Runner + sim.Store that many
+// clients hit concurrently, and a Client implementing sim.Backend against
+// such a daemon. cmd/dkipd is the daemon binary; cmd/experiments -remote
+// drives the whole experiment registry through a Client.
+//
+// The wire protocol (all JSON):
+//
+//	POST /v1/runs            submit one Spec or {"specs": [...]}; blocks
+//	                         until every run resolves, identical in-flight
+//	                         submissions from different clients join the
+//	                         same singleflight simulation
+//	GET  /v1/runs/{key}      fetch one Result by content key; 404 on miss
+//	                         unless ?wait=1 subscribes until it resolves
+//	GET  /v1/results         stream the store manifest as NDJSON,
+//	                         ?arch= and ?bench= filter
+//	GET  /v1/metrics         runner Metrics + store stats
+package serve
+
+import (
+	"fmt"
+
+	"dkip/internal/core"
+	"dkip/internal/ooo"
+	"dkip/internal/sim"
+)
+
+// Spec is the wire form of a sim.RunSpec: the engine selector as a string
+// and exactly one of the two configuration payloads (an absent payload means
+// the engine's zero configuration, i.e. the paper defaults). Function-typed
+// configuration fields never travel — they are excluded from the JSON
+// encoding just as the content hash skips them — so only Portable specs can
+// be encoded, and every decoded spec is memoizable.
+type Spec struct {
+	Arch    string       `json:"arch"`
+	Bench   string       `json:"bench"`
+	Warmup  uint64       `json:"warmup"`
+	Measure uint64       `json:"measure"`
+	Tag     string       `json:"tag,omitempty"`
+	OOO     *ooo.Config  `json:"ooo,omitempty"`
+	DKIP    *core.Config `json:"dkip,omitempty"`
+}
+
+// EncodeSpec converts a sim.RunSpec to its wire form. Specs carrying opaque
+// function fields (custom predictor constructors) are refused: serializing
+// one would silently simulate a different machine on the daemon.
+func EncodeSpec(s sim.RunSpec) (Spec, error) {
+	if !s.Portable() {
+		return Spec{}, fmt.Errorf("serve: spec %s carries opaque function fields and cannot run remotely", s.Label())
+	}
+	w := Spec{Arch: s.Arch.String(), Bench: s.Bench, Warmup: s.Warmup, Measure: s.Measure, Tag: s.Tag}
+	switch s.Arch {
+	case sim.ArchOOO:
+		cfg := s.OOO
+		w.OOO = &cfg
+	case sim.ArchDKIP:
+		cfg := s.DKIP
+		w.DKIP = &cfg
+	default:
+		return Spec{}, fmt.Errorf("serve: unknown architecture %q", s.Arch)
+	}
+	return w, nil
+}
+
+// RunSpec converts the wire form back to a sim.RunSpec. It only shapes the
+// spec; semantic validation (unknown benchmark, zero scale, invalid
+// configuration) stays with sim.RunSpec.Validate, which the Server applies
+// to every submission.
+func (w Spec) RunSpec() (sim.RunSpec, error) {
+	s := sim.RunSpec{Bench: w.Bench, Warmup: w.Warmup, Measure: w.Measure, Tag: w.Tag}
+	switch w.Arch {
+	case sim.ArchOOO.String():
+		s.Arch = sim.ArchOOO
+		if w.DKIP != nil {
+			return sim.RunSpec{}, fmt.Errorf("serve: ooo spec carries a dkip payload")
+		}
+		if w.OOO != nil {
+			s.OOO = *w.OOO
+		}
+	case sim.ArchDKIP.String():
+		s.Arch = sim.ArchDKIP
+		if w.OOO != nil {
+			return sim.RunSpec{}, fmt.Errorf("serve: dkip spec carries an ooo payload")
+		}
+		if w.DKIP != nil {
+			s.DKIP = *w.DKIP
+		}
+	default:
+		return sim.RunSpec{}, fmt.Errorf("serve: unknown architecture %q (want %q or %q)",
+			w.Arch, sim.ArchOOO, sim.ArchDKIP)
+	}
+	return s, nil
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"dkip/internal/core"
+	"dkip/internal/ooo"
+)
+
+// artifactSpecs is a sweep wide enough that Parallel(8) completion order is
+// effectively never the submission order.
+func artifactSpecs() []RunSpec {
+	benches := []string{"swim", "mcf", "gzip", "applu", "art"}
+	var specs []RunSpec
+	for _, b := range benches {
+		specs = append(specs,
+			DKIPSpec(b, core.Config{}, testWarmup, testMeasure),
+			OOOSpec(b, ooo.R10K64(), testWarmup, testMeasure),
+		)
+	}
+	return specs
+}
+
+// Results() must be ordered by content key — never by completion order — so
+// -json artifacts are reproducible under -parallel > 1. Regression test for
+// the completion-order records that made artifacts byte-nondeterministic.
+func TestResultsSortedByKey(t *testing.T) {
+	r := NewRunner(Parallel(8))
+	if _, err := r.RunAll(artifactSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	res := r.Results()
+	if len(res) != len(artifactSpecs()) {
+		t.Fatalf("recorded %d runs, want %d", len(res), len(artifactSpecs()))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Key >= res[i].Key {
+			t.Fatalf("Results()[%d]=%s and [%d]=%s are not in strict key order",
+				i-1, res[i-1].Key, i, res[i].Key)
+		}
+	}
+}
+
+// Two warm Parallel(8) passes over the same store must encode byte-identical
+// artifacts, regardless of submission order: with completion-order records
+// this failed on every run. (Fresh passes cannot be byte-compared — Elapsed
+// is wall time — so the store is primed first, exactly like the CI
+// determinism job.)
+func TestArtifactEncodeIsByteIdentical(t *testing.T) {
+	specs := artifactSpecs()
+	dir := t.TempDir()
+	store, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(Parallel(8), WithStore(store)).RunAll(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	encode := func(order []RunSpec) []byte {
+		st, err := OpenStore(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRunner(Parallel(8), WithStore(st))
+		if _, err := r.RunAll(order); err != nil {
+			t.Fatal(err)
+		}
+		if m := r.Metrics(); m.Simulated != 0 {
+			t.Fatalf("warm pass simulated %d runs", m.Simulated)
+		}
+		var buf bytes.Buffer
+		if err := WriteJSON(&buf, r.Results()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	reversed := make([]RunSpec, len(specs))
+	for i, s := range specs {
+		reversed[len(specs)-1-i] = s
+	}
+	a, b := encode(specs), encode(reversed)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("warm artifact encodes differ:\n%s\n----\n%s", a, b)
+	}
+}

@@ -48,6 +48,11 @@ func (r *Result) clone(cached bool) *Result {
 	return &out
 }
 
+// WithCached returns a deep copy of the record with Cached set as given —
+// how the serve layer marks store-served records without mutating a shared
+// result.
+func (r *Result) WithCached(cached bool) *Result { return r.clone(cached) }
+
 // IPC is a convenience accessor for the headline metric.
 func (r *Result) IPC() float64 {
 	if r.Stats == nil {

@@ -3,6 +3,7 @@ package sim
 import (
 	"errors"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -100,6 +101,7 @@ type Runner struct {
 
 	mu      sync.Mutex
 	calls   map[string]*call
+	waiters map[string][]chan *Result
 	results []*Result
 	m       Metrics
 }
@@ -182,7 +184,14 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 			// per-run record.
 			r.results = append(r.results, res.clone(true))
 			r.mu.Unlock()
+			// Mark the call complete before notifying: a Subscribe
+			// arriving between the two either sees the closed channel
+			// (served immediately) or registered its waiter before this
+			// lock (served by the notify) — never neither.
 			close(c.done)
+			r.mu.Lock()
+			r.notifyLocked(key, res)
+			r.mu.Unlock()
 			return c.res.clone(true), nil
 		}
 	}
@@ -207,14 +216,19 @@ func (r *Runner) Run(spec RunSpec) (*Result, error) {
 		r.m.DiskWrites++
 		r.mu.Unlock()
 	}
+	// Complete the call before notifying subscriptions (see the disk-hit
+	// path for the ordering argument).
+	close(c.done)
 	r.mu.Lock()
 	if c.err != nil || !r.memo {
 		// Drop the entry so later Runs retry (or, without memoization,
 		// re-simulate); concurrent waiters still get this result.
 		delete(r.calls, key)
 	}
+	if c.err == nil {
+		r.notifyLocked(key, c.res)
+	}
 	r.mu.Unlock()
-	close(c.done)
 	if c.err != nil {
 		return nil, c.err
 	}
@@ -301,8 +315,11 @@ func (r *Runner) Metrics() Metrics {
 
 // Results returns copies of the unique runs this Runner resolved so far —
 // fresh simulations (Cached false) and store-served records (Cached true) —
-// in completion order: the per-run records behind cmd/experiments -json.
-// Memo-cache repeats and out-of-shard placeholders are not recorded.
+// the per-run records behind cmd/experiments -json. Memo-cache repeats and
+// out-of-shard placeholders are not recorded. The slice is sorted by content
+// key (identity fields break ties for uncacheable runs, whose Key is empty),
+// never by completion order, so artifacts produced under -parallel > 1 are
+// byte-for-byte reproducible.
 func (r *Runner) Results() []*Result {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -310,5 +327,113 @@ func (r *Runner) Results() []*Result {
 	for i, res := range r.results {
 		out[i] = res.clone(res.Cached)
 	}
+	SortResults(out)
 	return out
+}
+
+// SortResults orders per-run records by content key, then by the identity
+// fields for records without one. Every artifact emitter sorts with it so
+// equal run sets of memoizable specs encode identically regardless of
+// completion order. Uncacheable runs (Key "") that also share every
+// identity field have no remaining discriminator — behaviourally distinct
+// machines the hash cannot see — and keep completion order among
+// themselves; byte-determinism is only promised for keyed records.
+func SortResults(results []*Result) {
+	sort.SliceStable(results, func(i, j int) bool {
+		a, b := results[i], results[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Arch != b.Arch {
+			return a.Arch < b.Arch
+		}
+		if a.Config != b.Config {
+			return a.Config < b.Config
+		}
+		if a.Bench != b.Bench {
+			return a.Bench < b.Bench
+		}
+		if a.Warmup != b.Warmup {
+			return a.Warmup < b.Warmup
+		}
+		return a.Measure < b.Measure
+	})
+}
+
+// Lookup returns the completed in-process result for a content key, without
+// simulating or touching the persistent store. It is the keyed read side the
+// serve layer uses for GET-by-key; an in-flight or failed call reports a
+// miss.
+func (r *Runner) Lookup(key string) (*Result, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.calls[key]
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-c.done:
+	default:
+		return nil, false
+	}
+	if c.err != nil || c.res == nil || c.res.Skipped {
+		return nil, false
+	}
+	return c.res.clone(true), true
+}
+
+// Subscribe registers interest in a content key: the returned channel
+// (buffered, capacity one) receives the Result as soon as any Run resolves
+// the key — including a resolution already completed — and the cancel
+// function releases the registration; callers that stop waiting (timeout,
+// disconnected client) must invoke it. Failed runs do not fulfil
+// subscriptions: the key may still resolve on a later retry, and callers
+// bound their own wait. This is the hook behind the serve layer's
+// GET /v1/runs/{key}?wait=1.
+func (r *Runner) Subscribe(key string) (<-chan *Result, func()) {
+	ch := make(chan *Result, 1)
+	r.mu.Lock()
+	// Check for an already-completed call and register the waiter under one
+	// critical section, so a resolution can never slip between the two.
+	if c, ok := r.calls[key]; ok {
+		select {
+		case <-c.done:
+			if c.err == nil && c.res != nil && !c.res.Skipped {
+				ch <- c.res.clone(true)
+				r.mu.Unlock()
+				return ch, func() {}
+			}
+		default:
+		}
+	}
+	if r.waiters == nil {
+		r.waiters = make(map[string][]chan *Result)
+	}
+	r.waiters[key] = append(r.waiters[key], ch)
+	r.mu.Unlock()
+	cancel := func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		ws := r.waiters[key]
+		for i, w := range ws {
+			if w == ch {
+				r.waiters[key] = append(ws[:i:i], ws[i+1:]...)
+				break
+			}
+		}
+		if len(r.waiters[key]) == 0 {
+			delete(r.waiters, key)
+		}
+	}
+	return ch, cancel
+}
+
+// notifyLocked fulfils every subscription for key with its freshly resolved
+// result. Caller holds r.mu; the channels are buffered, so delivery never
+// blocks under the lock.
+func (r *Runner) notifyLocked(key string, res *Result) {
+	for _, ch := range r.waiters[key] {
+		ch <- res.clone(true)
+	}
+	delete(r.waiters, key)
 }

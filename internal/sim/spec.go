@@ -132,9 +132,15 @@ func (s RunSpec) Key() string {
 // constructor) is opaque to the content hash and is only memoizable when a
 // Tag distinguishes it.
 func (s RunSpec) Memoizable() bool {
-	if s.Tag != "" {
-		return true
-	}
+	return s.Tag != "" || s.Portable()
+}
+
+// Portable reports whether the spec survives serialization: a configuration
+// carrying a non-nil function field (a custom predictor constructor) cannot
+// travel over the wire even when a Tag makes it memoizable locally, so the
+// serve layer refuses it rather than silently simulating a different
+// machine.
+func (s RunSpec) Portable() bool {
 	if s.Arch == ArchDKIP {
 		return !hasOpaqueFields(s.DKIP)
 	}

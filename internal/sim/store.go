@@ -118,12 +118,13 @@ func (s *Store) Put(res *Result) error {
 	return nil
 }
 
-// List decodes every valid entry in the store, sorted by key — the manifest
-// API for merging shard outputs: read each shard's store (or one shared
-// directory) and Put the union wherever it should land. Entries that fail
-// the Get checks (corrupt, stale version) are silently skipped.
-func (s *Store) List() ([]*Result, error) {
-	var out []*Result
+// Walk streams every valid entry to fn, one at a time, in ascending key
+// order (entry files are named by key, and WalkDir traverses lexically), so
+// arbitrarily large manifests can be processed in constant memory — the
+// serve layer's NDJSON endpoint encodes straight off it. A non-nil error
+// from fn aborts the walk and is returned. Entries that fail the Get checks
+// (corrupt, stale version) are silently skipped.
+func (s *Store) Walk(fn func(*Result) error) error {
 	root := filepath.Join(s.dir, "objects")
 	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -133,13 +134,29 @@ func (s *Store) List() ([]*Result, error) {
 			return nil
 		}
 		if res, ok := s.Get(strings.TrimSuffix(d.Name(), ".json")); ok {
-			out = append(out, res)
+			return fn(res)
 		}
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("sim: store list: %w", err)
+		return fmt.Errorf("sim: store walk: %w", err)
 	}
+	return nil
+}
+
+// List decodes every valid entry in the store, sorted by key — the manifest
+// API for merging shard outputs: read each shard's store (or one shared
+// directory) and Put the union wherever it should land.
+func (s *Store) List() ([]*Result, error) {
+	var out []*Result
+	if err := s.Walk(func(res *Result) error {
+		out = append(out, res)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	// Walk already yields key order; keep the sort as schema insurance (a
+	// future layout change must not silently break List's contract).
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil
 }
@@ -155,4 +172,34 @@ func (s *Store) Keys() ([]string, error) {
 		keys[i] = r.Key
 	}
 	return keys, nil
+}
+
+// StoreStats summarizes a store for monitoring endpoints (dkipd
+// /v1/metrics).
+type StoreStats struct {
+	// Dir is the store's root directory.
+	Dir string `json:"dir"`
+	// Entries counts entry files under objects/, including entries a
+	// current Get would reject (stale version, corruption) — it is a
+	// capacity signal, not a validity census.
+	Entries int `json:"entries"`
+}
+
+// Stats counts the store's entry files without decoding them.
+func (s *Store) Stats() (StoreStats, error) {
+	st := StoreStats{Dir: s.dir}
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
+			st.Entries++
+		}
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("sim: store stats: %w", err)
+	}
+	return st, nil
 }

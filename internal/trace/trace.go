@@ -109,7 +109,9 @@ func MeasureMix(g Generator, n int) Mix {
 	return m
 }
 
-// String renders the mix sorted by descending frequency.
+// String renders the mix sorted by descending frequency; ops with equal
+// counts tie-break in op order, so the rendering is deterministic however
+// the observations arrived.
 func (m *Mix) String() string {
 	type kv struct {
 		op isa.Op
@@ -121,7 +123,12 @@ func (m *Mix) String() string {
 			items = append(items, kv{isa.Op(op), m.Count[op]})
 		}
 	}
-	sort.Slice(items, func(i, j int) bool { return items[i].n > items[j].n })
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].n != items[j].n {
+			return items[i].n > items[j].n
+		}
+		return items[i].op < items[j].op
+	})
 	var b strings.Builder
 	for i, it := range items {
 		if i > 0 {

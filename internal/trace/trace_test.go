@@ -96,3 +96,42 @@ func TestMixFracEmpty(t *testing.T) {
 		t.Error("empty mix frac should be 0")
 	}
 }
+
+// Mix.String must render deterministically even when operation classes tie
+// on count: equal-count ops sort by op order, and the order observations
+// arrived in can never leak into the rendering. Regression test for the
+// unstable descending-count-only sort that made cmd/workloads output flap.
+func TestMixStringStableUnderTies(t *testing.T) {
+	// Three ops with tied counts plus one dominant op.
+	ops := []isa.Op{
+		isa.Load, isa.Load, isa.Load,
+		isa.Store, isa.Store,
+		isa.Branch, isa.Branch,
+		isa.IntALU, isa.IntALU,
+	}
+	observe := func(order []isa.Op) string {
+		var m Mix
+		for _, op := range order {
+			m.Observe(isa.Instr{Op: op})
+		}
+		return m.String()
+	}
+
+	want := observe(ops)
+	// Exercise several permutations, including full reversal.
+	perms := [][]isa.Op{
+		{isa.IntALU, isa.IntALU, isa.Branch, isa.Branch, isa.Store, isa.Store, isa.Load, isa.Load, isa.Load},
+		{isa.Branch, isa.Store, isa.IntALU, isa.Load, isa.Branch, isa.Store, isa.IntALU, isa.Load, isa.Load},
+		{isa.Store, isa.Branch, isa.Load, isa.IntALU, isa.Load, isa.Store, isa.Branch, isa.IntALU, isa.Load},
+	}
+	for i, p := range perms {
+		if got := observe(p); got != want {
+			t.Errorf("permutation %d renders %q, want %q", i, got, want)
+		}
+	}
+	// The tied ops must appear in op order after the dominant one.
+	wantOrder := "load=33.3% ialu=22.2% store=22.2% branch=22.2%"
+	if want != wantOrder {
+		t.Errorf("tied mix renders %q, want %q", want, wantOrder)
+	}
+}
