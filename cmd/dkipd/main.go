@@ -14,7 +14,15 @@
 //	dkipd -max-requests 128 -wait-timeout 2m
 //
 // Endpoints (see internal/serve): POST /v1/runs, GET /v1/runs/{key},
-// GET /v1/results, GET /v1/metrics.
+// GET /v1/results, GET /v1/metrics, GET /v1/healthz (constant-work
+// liveness probe; never touches the runner or store).
+//
+// Several daemons form a fleet: cmd/experiments -remote http://a,http://b
+// federates them through serve.Pool — every spec routes to one daemon by
+// its content key, transient failures retry with backoff, and a daemon
+// lost mid-sweep has its keys re-routed to the survivors. Daemons of one
+// fleet may share a -cache-dir (writes are atomic and content-addressed),
+// which makes re-routed keys disk hits instead of repeat simulations.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains:
 // in-flight submissions finish simulating and their write-behind store

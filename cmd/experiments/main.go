@@ -11,6 +11,8 @@
 //	experiments -run all -cache-dir ~/.cache/dkip
 //	experiments -run all -cache-dir /shared/dkip -shard 0/2
 //	experiments -run fig9 -quick -remote http://localhost:8321
+//	experiments -run all -quick -remote http://a:8321,http://b:8321
+//	experiments -run all -remote http://a:8321,http://b:8321 -remote-fallback -cache-dir ~/.cache/dkip
 //
 // Each experiment simulates every benchmark of the relevant suite(s) on the
 // relevant architecture configurations and prints the same rows or series the
@@ -33,8 +35,14 @@
 //
 // -remote http://host:port forwards every run to a dkipd daemon instead of
 // simulating locally: the daemon owns the worker pool, cache tiers, and
-// sharding, so -parallel/-cache-dir/-shard are rejected alongside it —
-// configure them on the daemon.
+// sharding, so -parallel/-shard are rejected alongside it — configure them
+// on the daemon. A comma-separated list federates a fleet of daemons
+// (serve.Pool): each run is routed to one daemon by its content key,
+// transient failures retry with backoff, and a daemon lost mid-sweep has
+// its keys re-routed to the survivors. With -remote-fallback the sweep
+// finishes on a local runner even when every daemon is down; -cache-dir is
+// only accepted alongside -remote in that combination (it backs the local
+// failover runner — the daemons' stores are configured on dkipd).
 package main
 
 import (
@@ -42,6 +50,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"dkip/internal/experiments"
@@ -59,17 +68,18 @@ type artifact struct {
 
 func main() {
 	var (
-		run      = flag.String("run", "", "experiment id to run, or \"all\"")
-		list     = flag.Bool("list", false, "list experiment ids")
-		quick    = flag.Bool("quick", false, "reduced instruction counts (seconds instead of minutes)")
-		csv      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
-		jsonOut  = flag.Bool("json", false, "emit one JSON artifact: tables, per-run records, runner metrics")
-		parallel = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		warmup   = flag.Uint64("warmup", 0, "override warmup instructions per run")
-		measure  = flag.Uint64("measure", 0, "override measured instructions per run")
-		cacheDir = flag.String("cache-dir", "", "persistent result-store directory (warm-starts later invocations)")
-		shard    = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
-		remote   = flag.String("remote", "", "run against a dkipd daemon at this base URL instead of simulating locally")
+		run            = flag.String("run", "", "experiment id to run, or \"all\"")
+		list           = flag.Bool("list", false, "list experiment ids")
+		quick          = flag.Bool("quick", false, "reduced instruction counts (seconds instead of minutes)")
+		csv            = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		jsonOut        = flag.Bool("json", false, "emit one JSON artifact: tables, per-run records, runner metrics")
+		parallel       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		warmup         = flag.Uint64("warmup", 0, "override warmup instructions per run")
+		measure        = flag.Uint64("measure", 0, "override measured instructions per run")
+		cacheDir       = flag.String("cache-dir", "", "persistent result-store directory (warm-starts later invocations)")
+		shard          = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
+		remote         = flag.String("remote", "", "comma-separated dkipd base URLs: one forwards every run to that daemon, several federate a fleet (key-routed, retrying)")
+		remoteFallback = flag.Bool("remote-fallback", false, "with -remote: finish the sweep on a local runner (sharing -cache-dir) when every daemon is unreachable")
 	)
 	flag.Parse()
 
@@ -101,18 +111,58 @@ func main() {
 	}
 
 	var runner sim.Backend
+	if *remoteFallback && *remote == "" {
+		fmt.Fprintln(os.Stderr, "experiments: -remote-fallback requires -remote")
+		os.Exit(2)
+	}
 	if *remote != "" {
-		// The daemon owns the pool, cache tiers, and sharding; local
+		// The daemons own the pool, cache tiers, and sharding; local
 		// equivalents alongside -remote would silently do nothing.
-		if *cacheDir != "" || *shard != "" || *parallel != 0 {
-			fmt.Fprintln(os.Stderr, "experiments: -remote is exclusive with -parallel/-cache-dir/-shard (configure those on dkipd)")
+		if *shard != "" || *parallel != 0 {
+			fmt.Fprintln(os.Stderr, "experiments: -remote is exclusive with -parallel/-shard (configure those on dkipd)")
 			os.Exit(2)
 		}
-		if err := serve.WaitHealthy(*remote, 5*time.Second); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *cacheDir != "" && !*remoteFallback {
+			fmt.Fprintln(os.Stderr, "experiments: -cache-dir alongside -remote requires -remote-fallback (it backs the local failover runner; the daemons' stores are configured on dkipd)")
+			os.Exit(2)
 		}
-		runner = serve.NewClient(*remote)
+		bases := strings.Split(*remote, ",")
+		if len(bases) == 1 && !*remoteFallback {
+			// The single-daemon path keeps PR-3 semantics: hard handshake,
+			// plain Client.
+			if err := serve.WaitHealthy(*remote, 5*time.Second); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			runner = serve.NewClient(*remote)
+		} else {
+			var popts []serve.PoolOption
+			if *remoteFallback {
+				var fopts []sim.Option
+				if *cacheDir != "" {
+					store, err := sim.OpenStore(*cacheDir)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, err)
+						os.Exit(1)
+					}
+					fopts = append(fopts, sim.WithStore(store))
+				}
+				popts = append(popts, serve.PoolFallback(sim.NewRunner(fopts...)))
+			}
+			pool, err := serve.NewPool(bases, popts...)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := pool.WaitHealthy(5 * time.Second); err != nil {
+				if !*remoteFallback {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "experiments: %v; continuing on the local fallback runner\n", err)
+			}
+			runner = pool
+		}
 	} else {
 		opts := []sim.Option{sim.Parallel(*parallel)}
 		if *cacheDir != "" {

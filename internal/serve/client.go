@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/url"
 	"strings"
@@ -23,8 +25,11 @@ import (
 // cover all clients, which is the point: a second client submitting the
 // same sweep shows up there as dedup, not as fresh simulation.
 type Client struct {
-	base string
-	hc   *http.Client
+	base          string
+	hc            *http.Client
+	retry         RetryPolicy
+	metaTimeout   time.Duration
+	submitTimeout time.Duration
 
 	mu      sync.Mutex
 	results map[string]*sim.Result
@@ -32,15 +37,65 @@ type Client struct {
 
 var _ sim.Backend = (*Client)(nil)
 
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRetry replaces the submission retry policy (default DefaultRetry).
+// RetryPolicy{Attempts: 1} disables retries.
+func WithRetry(p RetryPolicy) ClientOption {
+	return func(c *Client) { c.retry = p }
+}
+
+// MetaTimeout bounds metadata requests — metrics, manifest streams, and
+// non-waiting keyed GETs — with a per-request context (default 30s);
+// d <= 0 disables the bound.
+func MetaTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.metaTimeout = d }
+}
+
+// SubmitTimeout bounds each POST /v1/runs attempt (default none: full-scale
+// simulations legitimately take minutes, so only the caller knows a safe
+// bound). With a bound, a daemon that accepts submissions but never answers
+// — a wedged store mount, a deadlocked host — becomes a transient failure
+// the retry and pool-failover machinery can act on, instead of holding the
+// sweep forever.
+func SubmitTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.submitTimeout = d }
+}
+
 // NewClient builds a client for the daemon at base (e.g.
-// "http://localhost:8321"). No request timeout is set: full-scale
-// simulations legitimately take minutes, and the daemon bounds its own work.
-func NewClient(base string) *Client {
-	return &Client{
-		base:    strings.TrimRight(base, "/"),
-		hc:      &http.Client{},
-		results: make(map[string]*sim.Result),
+// "http://localhost:8321"). Simulation submissions get no overall timeout —
+// full-scale runs legitimately take minutes and the daemon bounds its own
+// work — but connecting is bounded (a blackholed host must fail fast enough
+// for retries and pool failover to act, not stall for the OS connect
+// default), submissions are retried with backoff on transient failures
+// (WithRetry), and every metadata endpoint gets a per-request context
+// timeout (MetaTimeout) so a hung daemon can never stall the CLI forever.
+func NewClient(base string, opts ...ClientOption) *Client {
+	// Clone the default transport rather than replacing it, keeping proxy
+	// support, the TLS handshake timeout, and connection pooling; only the
+	// connect bound is ours.
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.DialContext = (&net.Dialer{Timeout: 5 * time.Second}).DialContext
+	c := &Client{
+		base:        strings.TrimRight(base, "/"),
+		hc:          &http.Client{Transport: tr},
+		retry:       DefaultRetry,
+		metaTimeout: 30 * time.Second,
+		results:     make(map[string]*sim.Result),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// metaCtx returns the bounded per-request context metadata endpoints use.
+func (c *Client) metaCtx() (context.Context, context.CancelFunc) {
+	if c.metaTimeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), c.metaTimeout)
 }
 
 // Run submits one spec and blocks until the daemon resolves it.
@@ -55,6 +110,11 @@ func (c *Client) Run(spec sim.RunSpec) (*sim.Result, error) {
 // RunAll submits the batch in one POST /v1/runs and blocks until every run
 // resolves; results[i] corresponds to specs[i]. Specs carrying opaque
 // function fields are refused before anything is sent.
+//
+// The submission is idempotent — specs are content-keyed and the daemon
+// serves duplicates from its singleflight and caches — so the whole round
+// trip (submit and decode) is retried with capped backoff on transient
+// failures: a daemon restart mid-sweep costs one backoff, not the sweep.
 func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 	wire := make([]Spec, len(specs))
 	for i, s := range specs {
@@ -70,24 +130,49 @@ func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: encode submission: %w", err)
 	}
-	resp, err := c.hc.Post(c.base+"/v1/runs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, fmt.Errorf("serve: submit to %s: %w", c.base, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
-	}
 	var rr RunsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return nil, fmt.Errorf("serve: decode response: %w", err)
+	err = c.retry.Do(func() error {
+		ctx, cancel := context.Background(), context.CancelFunc(func() {})
+		if c.submitTimeout > 0 {
+			ctx, cancel = context.WithTimeout(context.Background(), c.submitTimeout)
+		}
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("serve: submit to %s: %w", c.base, err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return fmt.Errorf("serve: submit to %s: %w", c.base, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return httpError(resp)
+		}
+		rr = RunsResponse{}
+		if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+			return fmt.Errorf("serve: decode response: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(rr.Results) != len(specs) {
 		return nil, fmt.Errorf("serve: daemon returned %d results for %d specs", len(rr.Results), len(specs))
 	}
+	for i, res := range rr.Results {
+		// A null entry would surface as a nil-pointer panic deep in the
+		// registry (or the pool); reject it here as the protocol violation
+		// it is.
+		if res == nil {
+			return nil, fmt.Errorf("serve: daemon returned a null result for spec %d", i)
+		}
+	}
 	c.mu.Lock()
 	for _, res := range rr.Results {
-		if res != nil && res.Key != "" {
+		if res.Key != "" {
 			if _, seen := c.results[res.Key]; !seen {
 				// Keep a private copy: the returned records are the
 				// caller's to mutate, per the Backend contract.
@@ -101,13 +186,22 @@ func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 
 // Get fetches one result by content key. With wait set the daemon holds the
 // request until the key resolves (bounded by its wait timeout); otherwise a
-// miss returns an error wrapping the daemon's 404.
+// miss returns an error wrapping the daemon's 404. Only the waiting form may
+// block past the metadata timeout — a plain keyed read is metadata-sized.
 func (c *Client) Get(key string, wait bool) (*sim.Result, error) {
 	u := c.base + "/v1/runs/" + url.PathEscape(key)
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
 	if wait {
 		u += "?wait=1"
+	} else {
+		ctx, cancel = c.metaCtx()
 	}
-	resp, err := c.hc.Get(u)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: get %s: %w", key, err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: get %s: %w", key, err)
 	}
@@ -124,7 +218,8 @@ func (c *Client) Get(key string, wait bool) (*sim.Result, error) {
 
 // Manifest streams GET /v1/results (the daemon's store manifest, or its
 // in-process results when it runs storeless), optionally filtered by arch
-// and bench; empty filters match everything.
+// and bench; empty filters match everything. The whole stream is bounded by
+// the metadata timeout.
 func (c *Client) Manifest(arch, bench string) ([]*sim.Result, error) {
 	q := url.Values{}
 	if arch != "" {
@@ -137,7 +232,13 @@ func (c *Client) Manifest(arch, bench string) ([]*sim.Result, error) {
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	resp, err := c.hc.Get(u)
+	ctx, cancel := c.metaCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: manifest: %w", err)
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("serve: manifest: %w", err)
 	}
@@ -172,11 +273,18 @@ func (c *Client) Results() []*sim.Result {
 	return out
 }
 
-// Metrics fetches the daemon's cumulative counters. A transport failure
-// reports zero metrics: Backend's Metrics is an observability read, and by
-// the time it is called the submissions it describes have already succeeded.
+// Metrics fetches the daemon's cumulative counters, bounded by the metadata
+// timeout. A transport failure reports zero metrics: Backend's Metrics is
+// an observability read, and by the time it is called the submissions it
+// describes have already succeeded.
 func (c *Client) Metrics() sim.Metrics {
-	resp, err := c.hc.Get(c.base + "/v1/metrics")
+	ctx, cancel := c.metaCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/metrics", nil)
+	if err != nil {
+		return sim.Metrics{}
+	}
+	resp, err := c.hc.Do(req)
 	if err != nil {
 		return sim.Metrics{}
 	}
@@ -191,38 +299,54 @@ func (c *Client) Metrics() sim.Metrics {
 	return mr.Metrics
 }
 
-// httpError turns a non-200 daemon answer into an error carrying the status
-// and the (plain text) body the handlers write.
+// httpError turns a non-200 daemon answer into an *HTTPError carrying the
+// status and the (plain text) body the handlers write. A failure reading
+// the error body itself is surfaced next to whatever arrived, never
+// silently shown as an empty message.
 func httpError(resp *http.Response) error {
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	body, readErr := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
 	msg := strings.TrimSpace(string(body))
+	if readErr != nil {
+		if msg != "" {
+			msg += " "
+		}
+		msg += fmt.Sprintf("(error body unreadable: %v)", readErr)
+	}
 	if msg == "" {
 		msg = resp.Status
 	}
-	return fmt.Errorf("serve: daemon answered %d: %s", resp.StatusCode, msg)
+	return &HTTPError{StatusCode: resp.StatusCode, Msg: msg}
 }
 
-// WaitHealthy polls GET /v1/metrics until the daemon answers or the budget
+// Healthy performs one GET /v1/healthz probe with a short per-attempt
+// timeout — the liveness check Pool uses to admit a member back into the
+// routing ring.
+func Healthy(base string) error {
+	// The probe gets its own transport timeout: without one, a single
+	// connect to a blackholed address blocks for the OS default (minutes).
+	attempt := &http.Client{Timeout: 2 * time.Second}
+	resp, err := attempt.Get(strings.TrimRight(base, "/") + "/v1/healthz")
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: daemon at %s answered %s", base, resp.Status)
+	}
+	return nil
+}
+
+// WaitHealthy polls GET /v1/healthz until the daemon answers or the budget
 // elapses — the handshake cmd/experiments -remote and the CI smoke test use
 // before submitting.
 func WaitHealthy(base string, budget time.Duration) error {
 	base = strings.TrimRight(base, "/")
 	deadline := time.Now().Add(budget)
-	// Each attempt gets its own transport timeout: without one, a single
-	// connect to a blackholed address blocks for the OS default (minutes)
-	// and the budget is never consulted.
-	attempt := &http.Client{Timeout: 2 * time.Second}
 	var lastErr error
 	for {
-		resp, err := attempt.Get(base + "/v1/metrics")
-		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
-			err = fmt.Errorf("serve: daemon answered %s", resp.Status)
+		if lastErr = Healthy(base); lastErr == nil {
+			return nil
 		}
-		lastErr = err
 		if time.Now().After(deadline) {
 			return fmt.Errorf("serve: daemon at %s not healthy after %v: %w", base, budget, lastErr)
 		}

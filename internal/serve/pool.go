@@ -1,0 +1,475 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dkip/internal/sim"
+)
+
+// Pool is a sim.Backend that federates a fleet of dkipd daemons. Every spec
+// is routed to one daemon by rendezvous hashing on its content key, so the
+// same spec always lands on the same daemon's singleflight and memo cache no
+// matter which client submits it; batches are chunked into bounded
+// sub-batches and submitted concurrently under an in-flight window. Each
+// member Client retries transient failures with backoff; when a member's
+// retries exhaust, the Pool marks it down for a cooldown and re-routes its
+// keys across the survivors (rendezvous hashing guarantees the survivors'
+// own assignments do not move). When every backend is down, the Pool fails
+// over to an optional local sim.Runner so a sweep always finishes. One
+// caveat: a member that accepts submissions but never answers them is, by
+// default, indistinguishable from one running a long simulation — bound
+// submissions with PoolSubmitTimeout when sweep latency is known so such a
+// member re-routes too.
+//
+// Determinism survives federation: Results reports the unique records seen
+// fleet-wide, key-sorted like every other Backend, so a -json artifact
+// produced through a Pool compares byte-for-byte (outside the metrics
+// section) with a local run's.
+type Pool struct {
+	members       []*member
+	chunk         int
+	window        chan struct{}
+	retry         RetryPolicy
+	cooldown      time.Duration
+	submitTimeout time.Duration
+	probe         func(base string) error
+	fallback      *sim.Runner
+
+	mu      sync.Mutex
+	results map[string]*sim.Result
+}
+
+var _ sim.Backend = (*Pool)(nil)
+
+// member is one daemon of the fleet plus its health state.
+type member struct {
+	base   string
+	client *Client
+
+	mu        sync.Mutex
+	downUntil time.Time // zero when the member is routable
+}
+
+// down reports whether the member is currently out of the routing ring —
+// the single definition of "down" the dispatch path, revival probing, and
+// Metrics all consult.
+func (m *member) down(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.downUntil.IsZero() && now.Before(m.downUntil)
+}
+
+// PoolOption configures a Pool.
+type PoolOption func(*Pool)
+
+// PoolChunk bounds specs per sub-batch POST (default 32); n <= 0 keeps the
+// default. Smaller chunks lose less work to a dying daemon and re-route
+// sooner; larger chunks amortize round trips.
+func PoolChunk(n int) PoolOption {
+	return func(p *Pool) {
+		if n > 0 {
+			p.chunk = n
+		}
+	}
+}
+
+// PoolWindow bounds chunk submissions in flight across the whole fleet
+// (default 2× the member count); n <= 0 keeps the default.
+func PoolWindow(n int) PoolOption {
+	return func(p *Pool) {
+		if n > 0 {
+			p.window = make(chan struct{}, n)
+		}
+	}
+}
+
+// PoolRetry sets the per-submission retry policy the member clients use.
+func PoolRetry(rp RetryPolicy) PoolOption {
+	return func(p *Pool) { p.retry = rp }
+}
+
+// PoolSubmitTimeout bounds each chunk-submission attempt (default none —
+// full-scale chunks legitimately simulate for minutes). With a bound, a
+// daemon that accepts submissions but never answers (wedged store mount,
+// deadlocked host) is re-routed like any other transient failure instead of
+// holding the sweep; without one, such a member can still stall a sweep
+// even though its healthz probe passes.
+func PoolSubmitTimeout(d time.Duration) PoolOption {
+	return func(p *Pool) { p.submitTimeout = d }
+}
+
+// PoolCooldown sets how long a failed member stays out of the routing ring
+// before a health probe may readmit it (default 15s).
+func PoolCooldown(d time.Duration) PoolOption {
+	return func(p *Pool) {
+		if d > 0 {
+			p.cooldown = d
+		}
+	}
+}
+
+// PoolProbe replaces the health probe (default Healthy, one short
+// GET /v1/healthz). Tests inject failures through it.
+func PoolProbe(f func(base string) error) PoolOption {
+	return func(p *Pool) {
+		if f != nil {
+			p.probe = f
+		}
+	}
+}
+
+// PoolFallback attaches a local Runner the Pool fails over to when every
+// backend is down — typically sharing the fleet's -cache-dir so locally
+// simulated results persist where the daemons will find them.
+func PoolFallback(r *sim.Runner) PoolOption {
+	return func(p *Pool) { p.fallback = r }
+}
+
+// NewPool builds a Pool over the given daemon base URLs (e.g.
+// "http://a:8321", "http://b:8321"). Empty entries are dropped; duplicate
+// bases are an error — two ring slots for one daemon would skew routing.
+func NewPool(bases []string, opts ...PoolOption) (*Pool, error) {
+	p := &Pool{
+		chunk:    32,
+		retry:    DefaultRetry,
+		cooldown: 15 * time.Second,
+		probe:    Healthy,
+		results:  make(map[string]*sim.Result),
+	}
+	seen := make(map[string]bool)
+	for _, b := range bases {
+		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		if b == "" {
+			continue
+		}
+		if seen[b] {
+			return nil, fmt.Errorf("serve: pool backend %s listed twice", b)
+		}
+		seen[b] = true
+		p.members = append(p.members, &member{base: b})
+	}
+	if len(p.members) == 0 {
+		return nil, fmt.Errorf("serve: pool needs at least one backend URL")
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	for _, m := range p.members {
+		// Member metadata reads get a short timeout: Pool.Metrics must not
+		// stall for half a minute on a host that died between sweeps.
+		m.client = NewClient(m.base, WithRetry(p.retry),
+			MetaTimeout(5*time.Second), SubmitTimeout(p.submitTimeout))
+	}
+	if p.window == nil {
+		p.window = make(chan struct{}, 2*len(p.members))
+	}
+	return p, nil
+}
+
+// WaitHealthy blocks until at least one backend answers its health probe or
+// the budget elapses. One live member makes the whole pool usable —
+// rendezvous routing only ever targets members that look alive.
+func (p *Pool) WaitHealthy(budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	var lastErr error
+	for {
+		for _, m := range p.members {
+			if lastErr = p.probe(m.base); lastErr == nil {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("serve: none of %d pool backends healthy after %v: %w",
+				len(p.members), budget, lastErr)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// alive returns the currently routable members. A member whose down
+// cooldown has elapsed gets one health probe: success rejoins it to the
+// ring, failure extends the cooldown — keys never route back to a host that
+// cannot answer a trivial GET. Expired-cooldown members are probed
+// concurrently, so several dead hosts cost the round one probe timeout, not
+// one each.
+func (p *Pool) alive() []*member {
+	now := time.Now()
+	var out, expired []*member
+	for _, m := range p.members {
+		m.mu.Lock()
+		downUntil := m.downUntil
+		m.mu.Unlock()
+		switch {
+		case downUntil.IsZero():
+			out = append(out, m)
+		case now.Before(downUntil):
+			// Still cooling down; not probed, not routable.
+		default:
+			expired = append(expired, m)
+		}
+	}
+	if len(expired) == 0 {
+		return out
+	}
+	revived := make([]bool, len(expired))
+	var wg sync.WaitGroup
+	for i, m := range expired {
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			if err := p.probe(m.base); err != nil {
+				p.markDown(m)
+				return
+			}
+			m.mu.Lock()
+			m.downUntil = time.Time{}
+			m.mu.Unlock()
+			revived[i] = true
+		}(i, m)
+	}
+	wg.Wait()
+	for i, m := range expired {
+		if revived[i] {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// markDown takes a member out of the routing ring for one cooldown.
+func (p *Pool) markDown(m *member) {
+	m.mu.Lock()
+	m.downUntil = time.Now().Add(p.cooldown)
+	m.mu.Unlock()
+}
+
+// route picks the member owning a content key by rendezvous
+// (highest-random-weight) hashing over the alive set: every client agrees
+// on the assignment without coordination, keys spread evenly, and when a
+// member drops out only its own keys move to survivors — the survivors'
+// assignments (and therefore their daemons' warm caches) are untouched.
+func route(key string, members []*member) *member {
+	var best *member
+	var bestScore uint64
+	for _, m := range members {
+		if score := rendezvousScore(key, m.base); best == nil || score > bestScore ||
+			(score == bestScore && m.base < best.base) {
+			best, bestScore = m, score
+		}
+	}
+	return best
+}
+
+// rendezvousScore hashes (key, base) into one 64-bit weight. Raw FNV-1a is
+// not enough here: a byte that differs only near the end of the input
+// perturbs just the low bits, so the member whose base hashes highest would
+// win every key. The splitmix64 finalizer avalanches the digest so every
+// input bit reaches every score bit.
+func rendezvousScore(key, base string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, key)
+	h.Write([]byte{0})
+	io.WriteString(h, base)
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Run submits one spec through the fleet.
+func (p *Pool) Run(spec sim.RunSpec) (*sim.Result, error) {
+	results, err := p.RunAll([]sim.RunSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+// RunAll routes each spec to its daemon, submits bounded chunks
+// concurrently, and blocks until every run resolves; results[i] corresponds
+// to specs[i]. Chunks that fail transiently after their member's retries
+// re-route to surviving members; with no survivors the remainder runs on
+// the local fallback Runner, or the sweep fails if none is configured.
+// Specs carrying opaque function fields are refused before anything is
+// sent, like Client.RunAll.
+func (p *Pool) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
+	keys := make([]string, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if !s.Portable() {
+			return nil, fmt.Errorf("serve: spec %s carries opaque function fields and cannot run on a fleet", s.Label())
+		}
+		keys[i] = s.Key()
+	}
+	// One submission per unique key: in-batch duplicates are resolved once
+	// fleet-wide and copied per index below.
+	unique := make(map[string]sim.RunSpec, len(specs))
+	var pending []string
+	for i, k := range keys {
+		if _, ok := unique[k]; !ok {
+			unique[k] = specs[i]
+			pending = append(pending, k)
+		}
+	}
+
+	resolved := make(map[string]*sim.Result, len(unique))
+	for round := 0; len(pending) > 0; round++ {
+		alive := p.alive()
+		if len(alive) == 0 || round > len(p.members) {
+			// Every backend is down, or the round budget is spent (a member
+			// keeps passing its health probe and then failing submissions):
+			// the sweep still finishes if a local fallback was configured.
+			if p.fallback == nil {
+				if len(alive) == 0 {
+					return nil, fmt.Errorf("serve: could not place %d runs: all %d pool backends unhealthy and no local fallback configured",
+						len(pending), len(p.members))
+				}
+				return nil, fmt.Errorf("serve: could not place %d runs after %d re-route rounds (backends accept probes but fail submissions) and no local fallback configured",
+					len(pending), round)
+			}
+			fspecs := make([]sim.RunSpec, len(pending))
+			for i, k := range pending {
+				fspecs[i] = unique[k]
+			}
+			results, err := p.fallback.RunAll(fspecs)
+			if err != nil {
+				return nil, err
+			}
+			for i, k := range pending {
+				resolved[k] = results[i]
+			}
+			pending = nil
+			break
+		}
+
+		groups := make(map[*member][]string, len(alive))
+		for _, k := range pending {
+			m := route(k, alive)
+			groups[m] = append(groups[m], k)
+		}
+		var (
+			wg       sync.WaitGroup
+			outMu    sync.Mutex
+			failures []string // keys to re-route next round
+			fatal    error
+		)
+		for m, mkeys := range groups {
+			for start := 0; start < len(mkeys); start += p.chunk {
+				ck := mkeys[start:min(start+p.chunk, len(mkeys))]
+				wg.Add(1)
+				p.window <- struct{}{}
+				go func(m *member, ck []string) {
+					defer wg.Done()
+					defer func() { <-p.window }()
+					// Another chunk may have marked this member down while
+					// we queued for a window slot: skip straight to
+					// re-routing instead of burning a full retry ladder
+					// against a host already known dead.
+					if m.down(time.Now()) {
+						outMu.Lock()
+						failures = append(failures, ck...)
+						outMu.Unlock()
+						return
+					}
+					cs := make([]sim.RunSpec, len(ck))
+					for i, k := range ck {
+						cs[i] = unique[k]
+					}
+					res, err := m.client.RunAll(cs)
+					outMu.Lock()
+					defer outMu.Unlock()
+					if err != nil {
+						if Transient(err) {
+							p.markDown(m)
+							failures = append(failures, ck...)
+						} else if fatal == nil {
+							fatal = err
+						}
+						return
+					}
+					for i, k := range ck {
+						resolved[k] = res[i]
+					}
+				}(m, ck)
+			}
+		}
+		wg.Wait()
+		if fatal != nil {
+			return nil, fatal
+		}
+		// Deterministic re-route order regardless of chunk completion order.
+		sort.Strings(failures)
+		pending = failures
+	}
+
+	p.mu.Lock()
+	for k, r := range resolved {
+		if _, seen := p.results[k]; !seen {
+			p.results[k] = r.WithCached(r.Cached)
+		}
+	}
+	p.mu.Unlock()
+	out := make([]*sim.Result, len(specs))
+	for i, k := range keys {
+		// Each index gets its own copy, per the Backend contract.
+		out[i] = resolved[k].WithCached(resolved[k].Cached)
+	}
+	return out, nil
+}
+
+// Results returns copies of the unique runs resolved fleet-wide (including
+// any the local fallback simulated), sorted by content key — the same
+// contract as Runner.Results and Client.Results, so pool, single-daemon,
+// and local artifacts compare key-for-key.
+func (p *Pool) Results() []*sim.Result {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*sim.Result, 0, len(p.results))
+	for _, res := range p.results {
+		out = append(out, res.WithCached(res.Cached))
+	}
+	sim.SortResults(out)
+	return out
+}
+
+// Metrics sums the daemons' cumulative counters into one fleet-wide view,
+// plus the local fallback Runner's when one is configured. Members
+// currently marked down contribute zeros (matching Client.Metrics on an
+// unreachable daemon) instead of stalling the read.
+func (p *Pool) Metrics() sim.Metrics {
+	now := time.Now()
+	// Fan the per-member reads out like alive() fans probes out: several
+	// dead-but-not-marked members cost one metadata timeout, not one each.
+	snaps := make([]sim.Metrics, len(p.members))
+	var wg sync.WaitGroup
+	for i, m := range p.members {
+		if m.down(now) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, m *member) {
+			defer wg.Done()
+			snaps[i] = m.client.Metrics()
+		}(i, m)
+	}
+	wg.Wait()
+	var total sim.Metrics
+	for _, s := range snaps {
+		total = total.Plus(s)
+	}
+	if p.fallback != nil {
+		total = total.Plus(p.fallback.Metrics())
+	}
+	return total
+}

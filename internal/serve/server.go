@@ -2,7 +2,9 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"sync"
@@ -82,6 +84,7 @@ func NewServer(r *sim.Runner, store *sim.Store, opts ...ServerOption) *Server {
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/results", s.gated(s.handleResults))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
 }
 
@@ -120,11 +123,23 @@ type RunsResponse struct {
 	Metrics sim.Metrics   `json:"metrics"`
 }
 
+// maxSubmitBytes bounds a POST /v1/runs body; bigger sweeps should be
+// chunked into several submissions (serve.Pool does this automatically).
+const maxSubmitBytes = 16 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req runsRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			// An overflow is not a malformed body: answer 413 with the
+			// limit so the client knows to split the sweep, not fix JSON.
+			http.Error(w, fmt.Sprintf("serve: request body exceeds the %d-byte submission limit; split the sweep into smaller batches", mbe.Limit),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("serve: bad request body: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -280,6 +295,15 @@ func (s *Server) storeStats() (sim.StoreStats, bool) {
 	}
 	s.stats, s.statsAt = st, time.Now()
 	return st, true
+}
+
+// handleHealthz answers the fleet liveness probe. It deliberately touches
+// nothing — no runner lock, no store walk — so a daemon saturated with
+// simulations still answers instantly and a Pool never mistakes "busy" for
+// "down".
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, "{\"status\":\"ok\"}\n")
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

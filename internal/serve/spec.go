@@ -1,20 +1,26 @@
 // Package serve exposes the run-orchestration layer (internal/sim) over
 // HTTP: a Server wrapping one process-wide sim.Runner + sim.Store that many
-// clients hit concurrently, and a Client implementing sim.Backend against
-// such a daemon. cmd/dkipd is the daemon binary; cmd/experiments -remote
-// drives the whole experiment registry through a Client.
+// clients hit concurrently, a Client implementing sim.Backend against one
+// such daemon, and a Pool federating a fleet of daemons (content-key
+// rendezvous routing, chunked retrying submissions, health tracking, local
+// failover). cmd/dkipd is the daemon binary; cmd/experiments -remote drives
+// the whole experiment registry through a Client (one URL) or a Pool
+// (comma-separated URLs).
 //
 // The wire protocol (all JSON):
 //
 //	POST /v1/runs            submit one Spec or {"specs": [...]}; blocks
 //	                         until every run resolves, identical in-flight
 //	                         submissions from different clients join the
-//	                         same singleflight simulation
+//	                         same singleflight simulation; bodies over the
+//	                         16 MiB limit answer 413
 //	GET  /v1/runs/{key}      fetch one Result by content key; 404 on miss
 //	                         unless ?wait=1 subscribes until it resolves
 //	GET  /v1/results         stream the store manifest as NDJSON,
 //	                         ?arch= and ?bench= filter
 //	GET  /v1/metrics         runner Metrics + store stats
+//	GET  /v1/healthz         liveness probe: constant-work 200, never
+//	                         touches the runner or store
 package serve
 
 import (

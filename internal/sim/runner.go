@@ -39,6 +39,22 @@ type Metrics struct {
 	Uncacheable uint64 `json:"uncacheable"`
 }
 
+// Plus returns the field-wise sum of two snapshots — how a multi-daemon
+// federation (serve.Pool) folds per-backend counters into one fleet-wide
+// view. The Requested identity documented on Metrics holds for the sum
+// because it holds for each term.
+func (m Metrics) Plus(o Metrics) Metrics {
+	m.Requested += o.Requested
+	m.Simulated += o.Simulated
+	m.Deduped += o.Deduped
+	m.CacheHits += o.CacheHits
+	m.DiskHits += o.DiskHits
+	m.DiskWrites += o.DiskWrites
+	m.Skipped += o.Skipped
+	m.Uncacheable += o.Uncacheable
+	return m
+}
+
 // Option configures a Runner.
 type Option func(*Runner)
 
