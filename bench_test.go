@@ -84,11 +84,17 @@ func runExperiment(b *testing.B, id string, metrics func(t *experiments.Table, b
 	}
 }
 
-// cell parses a table cell as a float metric.
-func cell(t *experiments.Table, row, col int) float64 {
+// cell parses a table cell as a float metric. A cell that does not parse is
+// a harness bug (a renamed or blank column), and silently reporting 0 would
+// zero a headline benchmark number — fail loudly instead.
+func cell(b *testing.B, t *experiments.Table, row, col int) float64 {
+	b.Helper()
+	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Rows[row]) {
+		b.Fatalf("table cell [%d][%d] out of range (%d rows)", row, col, len(t.Rows))
+	}
 	v, err := strconv.ParseFloat(t.Rows[row][col], 64)
 	if err != nil {
-		return 0
+		b.Fatalf("table cell [%d][%d] = %q is not a numeric metric: %v", row, col, t.Rows[row][col], err)
 	}
 	return v
 }
@@ -111,8 +117,8 @@ func BenchmarkTable2Defaults(b *testing.B) {
 func BenchmarkFigure1WindowSweepInt(b *testing.B) {
 	runExperiment(b, "fig1", func(t *experiments.Table, b *testing.B) {
 		last := len(t.Rows) - 1
-		b.ReportMetric(cell(t, last, len(t.Columns)-2), "IPC-MEM400-4K")
-		b.ReportMetric(cell(t, 0, len(t.Columns)-2), "IPC-MEM400-32")
+		b.ReportMetric(cell(b, t, last, len(t.Columns)-2), "IPC-MEM400-4K")
+		b.ReportMetric(cell(b, t, 0, len(t.Columns)-2), "IPC-MEM400-32")
 	})
 }
 
@@ -121,8 +127,8 @@ func BenchmarkFigure1WindowSweepInt(b *testing.B) {
 func BenchmarkFigure2WindowSweepFP(b *testing.B) {
 	runExperiment(b, "fig2", func(t *experiments.Table, b *testing.B) {
 		last := len(t.Rows) - 1
-		b.ReportMetric(cell(t, last, 1), "IPC-L1-4K")
-		b.ReportMetric(cell(t, last, len(t.Columns)-2), "IPC-MEM400-4K")
+		b.ReportMetric(cell(b, t, last, 1), "IPC-L1-4K")
+		b.ReportMetric(cell(b, t, last, len(t.Columns)-2), "IPC-MEM400-4K")
 	})
 }
 
@@ -136,8 +142,8 @@ func BenchmarkFigure3IssueHistogram(b *testing.B) {
 // comparison: R10-64, R10-256, KILO-1024, D-KIP-2048 on both suites.
 func BenchmarkFigure9Comparison(b *testing.B) {
 	runExperiment(b, "fig9", func(t *experiments.Table, b *testing.B) {
-		b.ReportMetric(cell(t, 3, 2), "DKIP-FP-IPC")
-		b.ReportMetric(cell(t, 3, 2)/cell(t, 0, 2), "DKIP-vs-R1064-FP")
+		b.ReportMetric(cell(b, t, 3, 2), "DKIP-FP-IPC")
+		b.ReportMetric(cell(b, t, 3, 2)/cell(b, t, 0, 2), "DKIP-vs-R1064-FP")
 	})
 }
 
@@ -145,7 +151,7 @@ func BenchmarkFigure9Comparison(b *testing.B) {
 // grid of Figure 10 (and the §4.3 percentages in its notes).
 func BenchmarkFigure10SchedulerSweep(b *testing.B) {
 	runExperiment(b, "fig10", func(t *experiments.Table, b *testing.B) {
-		b.ReportMetric(cell(t, len(t.Rows)-1, len(t.Columns)-1), "IPC-OOO80-OOO40")
+		b.ReportMetric(cell(b, t, len(t.Rows)-1, len(t.Columns)-1), "IPC-OOO80-OOO40")
 	})
 }
 
@@ -238,17 +244,29 @@ func BenchmarkAblationPrefetch(b *testing.B) {
 
 // ---- run-orchestration layer benches ----
 
-// BenchmarkSimulatorRaw measures uncached simulator throughput: every
-// iteration re-simulates the default D-KIP and the R10-64 baseline on one
-// SpecFP and one SpecINT workload (the memo cache is disabled).
-func BenchmarkSimulatorRaw(b *testing.B) {
-	r := sim.NewRunner(sim.NoMemo())
+// rawSpecs returns the specs BenchmarkSimulatorRaw simulates: the default
+// D-KIP on one SpecFP workload and the R10-64 baseline on one SpecINT
+// workload. cmd/bench runs the identical set, so its BENCH_*.json snapshots
+// and the CI benchmark numbers measure the same work.
+func rawSpecs() []sim.RunSpec {
 	scale := benchScale()
-	specs := []sim.RunSpec{
+	return []sim.RunSpec{
 		sim.DKIPSpec("swim", core.Config{}, scale.Warmup, scale.Measure),
 		sim.OOOSpec("mcf", ooo.R10K64(), scale.Warmup, scale.Measure),
 	}
+}
+
+// benchRaw measures uncached simulator throughput over the given specs (the
+// memo cache is disabled, so every iteration re-simulates). It reports
+// instrs/s — the repo's headline perf number — and allocation counts: the
+// steady-state cycle loop is allocation-free, so allocs/op must stay flat as
+// the per-iteration instruction count grows (what remains is per-simulation
+// construction: caches, predictor tables, the window arena).
+func benchRaw(b *testing.B, specs ...sim.RunSpec) {
+	b.Helper()
+	r := sim.NewRunner(sim.NoMemo())
 	var instrs uint64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, spec := range specs {
@@ -260,6 +278,25 @@ func BenchmarkSimulatorRaw(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSimulatorRaw measures uncached simulator throughput: every
+// iteration re-simulates the default D-KIP and the R10-64 baseline on one
+// SpecFP and one SpecINT workload. This is the number the CI perf job gates
+// against BENCH_baseline.json.
+func BenchmarkSimulatorRaw(b *testing.B) {
+	benchRaw(b, rawSpecs()...)
+}
+
+// BenchmarkSimulatorRawDKIP isolates D-KIP (core package) throughput.
+func BenchmarkSimulatorRawDKIP(b *testing.B) {
+	benchRaw(b, rawSpecs()[0])
+}
+
+// BenchmarkSimulatorRawOOO isolates out-of-order-baseline (ooo package)
+// throughput.
+func BenchmarkSimulatorRawOOO(b *testing.B) {
+	benchRaw(b, rawSpecs()[1])
 }
 
 // BenchmarkRunnerCacheHit measures the memoized fast path: after the first

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"dkip/internal/isa"
+)
+
+// Mirrors of the ooo package's advanceCycle tests for the D-KIP: same
+// idle-skip contract, plus the core-specific candidates (the Analyze-stage
+// aging deadline) and the checkpoint-stack drain on an empty slow path.
+
+func advTestProcessor() *Processor {
+	return New(DefaultConfig())
+}
+
+func TestAdvanceCycleDidWork(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = true
+	p.ev.Schedule(500, 1)
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d after work, want 11", p.cycle)
+	}
+}
+
+func TestAdvanceCycleIdleSkipsToNextEvent(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(100, 1)
+	p.advanceCycle()
+	if p.cycle != 100 {
+		t.Fatalf("cycle = %d, want skip to 100", p.cycle)
+	}
+}
+
+func TestAdvanceCycleDueCandidateOverridesFutureOne(t *testing.T) {
+	// A due fetch head must pin the machine to the next cycle even though
+	// the completion event is far out — and vice versa.
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(100, 1)
+	p.fq[0] = fetchEntry{ready: 5}
+	p.fqHead, p.fqLen = 0, 1
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.cycle)
+	}
+
+	p = advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(11, 1)
+	p.fq[0] = fetchEntry{ready: 100}
+	p.fqHead, p.fqLen = 0, 1
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event already due)", p.cycle)
+	}
+}
+
+func TestAdvanceCycleSkipsToAnalyzeDeadline(t *testing.T) {
+	// An instruction waiting out the Aging-ROB timer is a wake-up source:
+	// the skip must stop at its aging deadline.
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	e := p.win.Alloc(0, isa.Instr{Op: isa.IntALU, Dest: isa.IntReg(1)}, 1)
+	e.RenameCycle = 8
+	p.renameSeq = 1
+	p.analyzeSeq = 0
+	p.ev.Schedule(500, 2)
+	p.advanceCycle()
+	want := int64(8 + p.cfg.ROBTimer)
+	if p.cycle != want {
+		t.Fatalf("cycle = %d, want aging deadline %d", p.cycle, want)
+	}
+}
+
+func TestAdvanceCycleDrainsCheckpointsWhenSlowPathEmpty(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = true
+	p.ckptSeqs = append(p.ckptSeqs, 1, 2)
+	p.ckptDepth = 2
+	p.advanceCycle()
+	if p.ckptDepth != 0 || len(p.ckptSeqs) != 0 {
+		t.Fatalf("checkpoint stack not drained: depth %d, %d seqs", p.ckptDepth, len(p.ckptSeqs))
+	}
+}
+
+func TestAdvanceCycleDeadlockPanics(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.fetchStalled = true
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stall with no pending events must panic")
+		}
+	}()
+	p.advanceCycle()
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"dkip/internal/workload"
+)
+
+// TestSteadyStateAllocationFree is the D-KIP counterpart of the ooo
+// package's test: after warmup, the Analyze/extract/issue loop — including
+// LLIB rings, LLRF accounting, MP reservation stations, and the completion
+// event heap — must not allocate per committed instruction. The default
+// configuration runs the Memory Processors in order (ring FIFO); the second
+// case forces the Cache Processor in order too, and the third runs both MPs
+// out of order so the wakeup heaps are exercised.
+func TestSteadyStateAllocationFree(t *testing.T) {
+	cpInOrder := DefaultConfig()
+	cpInOrder.Name = "DKIP-CPIO"
+	cpInOrder.CPInOrder = true
+	mpOOO := DefaultConfig()
+	mpOOO.Name = "DKIP-MPOOO"
+	mpOOO.MPInOrder = Bool(false)
+	cases := []struct {
+		name  string
+		cfg   Config
+		bench string
+	}{
+		{"default-fp", DefaultConfig(), "swim"},
+		{"default-int", DefaultConfig(), "mcf"},
+		{"cp-inorder", cpInOrder, "swim"},
+		{"mp-ooo", mpOOO, "swim"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := workload.MustNew(c.bench)
+			p := New(c.cfg)
+			p.Hierarchy().Warm(g.WarmRanges())
+			p.Run(g, 30_000, 30_000) // reach structural steady state
+			const chunk = 10_000
+			// A few throwaway chunks let per-entry Consumers slices finish
+			// discovering their high-water capacities.
+			for i := 0; i < 5; i++ {
+				p.Run(g, 0, chunk)
+			}
+			avg := testing.AllocsPerRun(3, func() {
+				p.Run(g, 0, chunk)
+			})
+			// Each Run call copies its Stats once (the returned snapshot),
+			// and Consumers slices keep a stochastic straggler tail: a
+			// producer outstanding for hundreds of cycles can collect a
+			// record consumer count for its window slot, and with the MP
+			// out of order the window spans thousands of slots. Those
+			// doubling growths decay logarithmically per slot; nothing may
+			// scale with chunk.
+			if perInstr := avg / chunk; perInstr > 0.005 {
+				t.Errorf("steady state allocates %.4f objects per committed instruction (%.0f per %d-instruction chunk), want ~0",
+					perInstr, avg, chunk)
+			}
+		})
+	}
+}
+
+// TestLongRunMemoryBounded runs the D-KIP for two million instructions after
+// warmup and checks that neither heap churn nor dead-prefix retention grows
+// allocated bytes with run length (the LLIB FIFOs and checkpoint stack used
+// to reslice their heads away while appending into the same backing array).
+func TestLongRunMemoryBounded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-million-instruction run")
+	}
+	g := workload.MustNew("swim")
+	p := New(DefaultConfig())
+	p.Hierarchy().Warm(g.WarmRanges())
+	p.Run(g, 100_000, 100_000)
+
+	const instrs = 2_000_000
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	p.Run(g, 0, instrs)
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+
+	perInstr := float64(after.TotalAlloc-before.TotalAlloc) / float64(instrs)
+	if perInstr > 1 {
+		t.Errorf("long run allocated %.3f bytes per instruction (total %d over %d instrs), want ~0",
+			perInstr, after.TotalAlloc-before.TotalAlloc, instrs)
+	}
+	bound := p.win.Capacity() * 2
+	for _, llib := range []*LLIB{p.llibInt, p.llibFP} {
+		if c := llib.fifo.Cap(); c > bound {
+			t.Errorf("LLIB ring grew to %d slots (window %d): capacity scales with run length", c, p.win.Capacity())
+		}
+	}
+	if c := cap(p.ckptSeqs); c > 4*p.cfg.CheckpointStackSize {
+		t.Errorf("checkpoint stack backing grew to %d (stack size %d)", c, p.cfg.CheckpointStackSize)
+	}
+}

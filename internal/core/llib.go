@@ -105,7 +105,7 @@ func (r *LLRF) Full() bool {
 // the paired Memory Processor once the long-latency load it depends on has
 // delivered its value to the Address Processor's FIFO.
 type LLIB struct {
-	fifo []uint64
+	fifo pipeline.Ring64 // bounded by cap, so it never grows past capacity
 	cap  int
 	win  *pipeline.Window
 
@@ -119,33 +119,33 @@ func NewLLIB(capacity int, win *pipeline.Window) *LLIB {
 }
 
 // Len returns the current occupancy.
-func (l *LLIB) Len() int { return len(l.fifo) }
+func (l *LLIB) Len() int { return l.fifo.Len() }
 
 // Full reports whether insertion must stall.
-func (l *LLIB) Full() bool { return len(l.fifo) >= l.cap }
+func (l *LLIB) Full() bool { return l.fifo.Len() >= l.cap }
 
 // Push appends an instruction (already stamped QLLIB by the caller).
 func (l *LLIB) Push(seq uint64) {
 	if l.Full() {
 		panic("core: push into full LLIB")
 	}
-	l.fifo = append(l.fifo, seq)
-	if len(l.fifo) > l.MaxInstrs {
-		l.MaxInstrs = len(l.fifo)
+	l.fifo.PushBack(seq)
+	if l.fifo.Len() > l.MaxInstrs {
+		l.MaxInstrs = l.fifo.Len()
 	}
 }
 
 // Head returns the oldest resident instruction.
 func (l *LLIB) Head() (uint64, bool) {
-	if len(l.fifo) == 0 {
+	if l.fifo.Len() == 0 {
 		return 0, false
 	}
-	return l.fifo[0], true
+	return l.fifo.Front(), true
 }
 
 // Pop removes the head.
 func (l *LLIB) Pop() {
-	l.fifo = l.fifo[1:]
+	l.fifo.PopFront()
 }
 
 // HeadExtractable implements the paper's wakeup rule: the head may move to

@@ -542,12 +542,20 @@ func (p *Processor) insertLLIB(e *pipeline.DynInst) bool {
 func (p *Processor) takeCheckpoint(seq uint64) {
 	p.lastCheckpoint = p.analyzed
 	// Prune checkpoints the horizon has passed: nothing can roll back
-	// before the oldest live instruction.
-	for len(p.ckptSeqs) > 0 && p.ckptSeqs[0] < p.horizon {
-		p.ckptSeqs = p.ckptSeqs[1:]
+	// before the oldest live instruction. Dropped heads are shifted out
+	// (not resliced away) so the backing array never accretes a dead
+	// prefix; the stack is bounded by CheckpointStackSize, so the copy is
+	// cheap.
+	drop := 0
+	for drop < len(p.ckptSeqs) && p.ckptSeqs[drop] < p.horizon {
+		drop++
 	}
-	if len(p.ckptSeqs) >= p.cfg.CheckpointStackSize {
-		p.ckptSeqs = p.ckptSeqs[1:]
+	if len(p.ckptSeqs)-drop >= p.cfg.CheckpointStackSize {
+		drop++
+	}
+	if drop > 0 {
+		n := copy(p.ckptSeqs, p.ckptSeqs[drop:])
+		p.ckptSeqs = p.ckptSeqs[:n]
 	}
 	p.ckptSeqs = append(p.ckptSeqs, seq)
 	p.ckptDepth = len(p.ckptSeqs)

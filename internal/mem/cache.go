@@ -18,12 +18,15 @@ type Cache struct {
 	numSets   int
 	setShift  uint // log2(lineBytes)
 	setMask   uint64
+	tagShift  uint // log2(numSets): line-number bits consumed by the index
 
-	// tags[set][way] holds the line tag; lru[set][way] holds a per-set
-	// logical clock: larger = more recently used.
-	tags  [][]uint64
-	valid [][]bool
-	lru   [][]uint64
+	// The per-way state is stored flat, indexed set*assoc+way: one
+	// allocation per array and contiguous scans within a set, instead of
+	// a pointer dereference per set. tags holds the line tag; lru holds a
+	// per-set logical clock (larger = more recently used).
+	tags  []uint64
+	valid []bool
+	lru   []uint64
 	clock uint64
 
 	// Stats.
@@ -54,15 +57,11 @@ func NewCache(name string, size, line, assoc int) *Cache {
 		numSets:   sets,
 		setShift:  uint(log2(line)),
 		setMask:   uint64(sets - 1),
+		tagShift:  uint(log2(sets)),
 	}
-	c.tags = make([][]uint64, sets)
-	c.valid = make([][]bool, sets)
-	c.lru = make([][]uint64, sets)
-	for i := 0; i < sets; i++ {
-		c.tags[i] = make([]uint64, assoc)
-		c.valid[i] = make([]bool, assoc)
-		c.lru[i] = make([]uint64, assoc)
-	}
+	c.tags = make([]uint64, sets*assoc)
+	c.valid = make([]bool, sets*assoc)
+	c.lru = make([]uint64, sets*assoc)
 	return c
 }
 
@@ -92,18 +91,20 @@ func (c *Cache) Assoc() int { return c.assoc }
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return c.numSets }
 
-func (c *Cache) index(addr uint64) (set int, tag uint64) {
+// index returns the first flat way slot of addr's set and its tag. The way
+// group is c.tags[base : base+c.assoc] (same for valid and lru).
+func (c *Cache) index(addr uint64) (base int, tag uint64) {
 	line := addr >> c.setShift
-	return int(line & c.setMask), line >> uint(log2(c.numSets))
+	return int(line&c.setMask) * c.assoc, line >> c.tagShift
 }
 
 // Lookup reports whether addr hits without modifying any state (no LRU
 // update, no fill, no stats). The D-KIP's Analyze stage uses this to model
 // the L2 tag probe that classifies a load as short- or long-latency.
 func (c *Cache) Lookup(addr uint64) bool {
-	set, tag := c.index(addr)
-	for w := 0; w < c.assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
+	base, tag := c.index(addr)
+	for w := base; w < base+c.assoc; w++ {
+		if c.valid[w] && c.tags[w] == tag {
 			return true
 		}
 	}
@@ -115,31 +116,30 @@ func (c *Cache) Lookup(addr uint64) bool {
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.clock++
-	set, tag := c.index(addr)
-	for w := 0; w < c.assoc; w++ {
-		if c.valid[set][w] && c.tags[set][w] == tag {
-			c.lru[set][w] = c.clock
+	base, tag := c.index(addr)
+	for w := base; w < base+c.assoc; w++ {
+		if c.valid[w] && c.tags[w] == tag {
+			c.lru[w] = c.clock
 			return true
 		}
 	}
 	c.Misses++
 	// Fill: choose an invalid way, else the least recently used.
-	victim := 0
+	victim := base
 	var best uint64 = ^uint64(0)
-	for w := 0; w < c.assoc; w++ {
-		if !c.valid[set][w] {
+	for w := base; w < base+c.assoc; w++ {
+		if !c.valid[w] {
 			victim = w
-			best = 0
 			break
 		}
-		if c.lru[set][w] < best {
-			best = c.lru[set][w]
+		if c.lru[w] < best {
+			best = c.lru[w]
 			victim = w
 		}
 	}
-	c.valid[set][victim] = true
-	c.tags[set][victim] = tag
-	c.lru[set][victim] = c.clock
+	c.valid[victim] = true
+	c.tags[victim] = tag
+	c.lru[victim] = c.clock
 	return false
 }
 
@@ -153,12 +153,10 @@ func (c *Cache) MissRate() float64 {
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for s := 0; s < c.numSets; s++ {
-		for w := 0; w < c.assoc; w++ {
-			c.valid[s][w] = false
-			c.tags[s][w] = 0
-			c.lru[s][w] = 0
-		}
+	for i := range c.valid {
+		c.valid[i] = false
+		c.tags[i] = 0
+		c.lru[i] = 0
 	}
 	c.clock = 0
 	c.Accesses = 0

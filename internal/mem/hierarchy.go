@@ -292,9 +292,39 @@ func (h *Hierarchy) ResetStats() {
 // order, so later ranges win the capacity contest, as a program's hottest
 // data would.
 func (h *Hierarchy) Warm(ranges [][2]uint64) {
+	if h.l1 == nil {
+		h.ResetStats() // perfect L1: no cache state to establish
+		return
+	}
 	line := uint64(h.cfg.LineSize)
+	// A sequential walk of unique lines leaves only the tail of each range
+	// resident: any window of sets×assoc consecutive lines touches every
+	// set exactly assoc times, fully displacing whatever was there, with
+	// LRU order equal to walk order. Walking just the last max(L1,L2)
+	// bytes therefore produces the identical final state, so a multi-MB
+	// footprint warms in O(cache size) instead of O(footprint). The
+	// shortcut is off when the prefetcher is on: prefetch fills follow a
+	// miss cadence whose phase depends on the walk's start line, so
+	// truncation could perturb per-set LRU order.
+	keep := uint64(0)
+	if h.cfg.PrefetchDegree == 0 {
+		keep = uint64(h.l1.Size())
+		if h.l2 != nil && uint64(h.l2.Size()) > keep {
+			keep = uint64(h.l2.Size())
+		}
+	}
 	for _, r := range ranges {
-		for a := r[0]; a < r[0]+r[1]; a += line {
+		base, size := r[0], r[1]
+		if keep > 0 && size > keep {
+			// Skip whole lines only: the truncated walk must visit a
+			// suffix of exactly the addresses the full walk would, or a
+			// size that is not a line multiple would phase-shift every
+			// remaining access onto different lines.
+			cut := (size - keep) / line * line
+			base += cut
+			size -= cut
+		}
+		for a := base; a < base+size; a += line {
 			h.Access(a)
 		}
 	}

@@ -219,3 +219,44 @@ func TestPrefetcherHelpsStreams(t *testing.T) {
 		t.Errorf("%d of %d lines missed to memory despite prefetching", memCount, lines)
 	}
 }
+
+// TestWarmShortcutMatchesFullWalk pins the Warm truncation's invariance
+// claim: for ranges much larger than the caches — including sizes that are
+// not line multiples, which exercise the whole-line cut — the shortcut must
+// leave exactly the cache state a full sequential walk would.
+func TestWarmShortcutMatchesFullWalk(t *testing.T) {
+	// The last range wins the capacity contest, so it is the one whose
+	// truncation the test observes; its size is deliberately not a line
+	// multiple (the cut must stay line-aligned or every remaining access
+	// phase-shifts onto different lines).
+	ranges := [][2]uint64{
+		{0x7000_0000, 16 << 10},
+		{0x9000_0040, 1<<20 + 192},
+		{0x1000_0000, 4<<20 + 32},
+	}
+	warmed := NewHierarchy(DefaultConfig())
+	warmed.Warm(ranges)
+
+	full := NewHierarchy(DefaultConfig())
+	line := uint64(full.Config().LineSize)
+	for _, r := range ranges {
+		for a := r[0]; a < r[0]+r[1]; a += line {
+			full.Access(a)
+		}
+	}
+	full.ResetStats()
+
+	for _, r := range ranges {
+		for a := r[0]; a < r[0]+r[1]; a += line {
+			for _, c := range []struct {
+				name      string
+				got, want *Cache
+			}{{"L1", warmed.L1(), full.L1()}, {"L2", warmed.L2(), full.L2()}} {
+				if c.got.Lookup(a) != c.want.Lookup(a) {
+					t.Fatalf("%s residency differs at %#x: shortcut %v, full walk %v",
+						c.name, a, c.got.Lookup(a), c.want.Lookup(a))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ooo
+
+import "testing"
+
+// The advanceCycle tests pin the idle-skip contract the data-structure
+// rewrite must preserve: time advances by exactly one cycle when work
+// happened or something is due immediately, jumps to the earliest future
+// wake-up source when the machine is idle, and panics loudly on a genuine
+// deadlock. The subtle case is a mix of candidates: one already due must pin
+// next to the current cycle even when another candidate is far in the
+// future, regardless of the order the candidates are considered in.
+
+func advTestProcessor() *Processor {
+	return New(R10K64())
+}
+
+func TestAdvanceCycleDidWork(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = true
+	p.ev.Schedule(500, 1) // must not be skipped to
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d after work, want 11", p.cycle)
+	}
+}
+
+func TestAdvanceCycleIdleSkipsToNextEvent(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(100, 1)
+	p.advanceCycle()
+	if p.cycle != 100 {
+		t.Fatalf("cycle = %d, want skip to 100", p.cycle)
+	}
+}
+
+func TestAdvanceCycleDueNowDoesNotSkip(t *testing.T) {
+	// An event due at the very next cycle: advance by one, no skip.
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(11, 1)
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event due now)", p.cycle)
+	}
+}
+
+func TestAdvanceCycleDueCandidateOverridesFutureOne(t *testing.T) {
+	// Candidate order 1: future event, then a fetch-buffer head that is
+	// already consumable. The due head must win: no skip.
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(100, 1)
+	p.fq[0] = fetchEntry{ready: 5}
+	p.fqHead, p.fqLen = 0, 1
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.cycle)
+	}
+
+	// Candidate order 2: the due candidate first (the event), the future
+	// one second (the fetch head). Same answer.
+	p = advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(11, 1)
+	p.fq[0] = fetchEntry{ready: 100}
+	p.fqHead, p.fqLen = 0, 1
+	p.advanceCycle()
+	if p.cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event already due)", p.cycle)
+	}
+}
+
+func TestAdvanceCycleSkipsToEarliestCandidate(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.ev.Schedule(200, 1)
+	p.fq[0] = fetchEntry{ready: 60}
+	p.fqHead, p.fqLen = 0, 1
+	p.resumeCycle = 40 // fetch redirect pending, not stalled
+	p.advanceCycle()
+	if p.cycle != 40 {
+		t.Fatalf("cycle = %d, want earliest candidate 40", p.cycle)
+	}
+}
+
+func TestAdvanceCycleStallWithLaterEventSkips(t *testing.T) {
+	// Fetch stalled on an unresolved branch, but its resolution event is
+	// pending: the skip must target the event, not panic.
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.fetchStalled = true
+	p.ev.Schedule(300, 1)
+	p.advanceCycle()
+	if p.cycle != 300 {
+		t.Fatalf("cycle = %d, want 300", p.cycle)
+	}
+}
+
+func TestAdvanceCycleDeadlockPanics(t *testing.T) {
+	p := advTestProcessor()
+	p.cycle = 10
+	p.didWork = false
+	p.fetchStalled = true // stalled, no events, nothing buffered: deadlock
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stall with no pending events must panic")
+		}
+	}()
+	p.advanceCycle()
+}

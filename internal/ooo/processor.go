@@ -49,7 +49,14 @@ type Processor struct {
 	resumeCycle  int64 // fetch may not proceed before this cycle
 
 	// ageI/ageF feed SLIQ migration: sequence numbers in rename order.
-	ageI, ageF []uint64
+	ageI, ageF pipeline.Ring64
+
+	// issueStage scratch, preallocated so the per-cycle select loop does
+	// not allocate: the fixed queue set, its rotated view, and the
+	// structural-block flags.
+	iqAll     []*pipeline.IssueQueue
+	iqRot     []*pipeline.IssueQueue
+	iqBlocked []bool
 
 	cycle       int64
 	collect     bool
@@ -94,6 +101,12 @@ func New(cfg Config) *Processor {
 		}
 		p.sliq = pipeline.NewIssueQueue(pipeline.QSLIQ, cfg.SLIQSize, false, p.win)
 	}
+	p.iqAll = []*pipeline.IssueQueue{p.iqI, p.iqF}
+	if p.sliq != nil {
+		p.iqAll = append(p.iqAll, p.sliq)
+	}
+	p.iqRot = make([]*pipeline.IssueQueue, len(p.iqAll))
+	p.iqBlocked = make([]bool, len(p.iqAll))
 	return p
 }
 
@@ -286,17 +299,24 @@ func (p *Processor) wake(e *pipeline.DynInst) {
 }
 
 func (p *Processor) issueStage() {
-	queues := []*pipeline.IssueQueue{p.iqI, p.iqF}
-	if p.sliq != nil {
-		queues = append(queues, p.sliq)
+	// Rotate priority so no queue starves under issue-width pressure. The
+	// rotated view and block flags live on the Processor: this runs every
+	// cycle and must not allocate.
+	n := len(p.iqAll)
+	rot := int(p.cycle) % n
+	for i := range p.iqAll {
+		j := i + rot
+		if j >= n {
+			j -= n
+		}
+		p.iqRot[i] = p.iqAll[j]
+		p.iqBlocked[i] = false
 	}
-	// Rotate priority so no queue starves under issue-width pressure.
-	rot := int(p.cycle) % len(queues)
-	queues = append(queues[rot:], queues[:rot]...)
+	queues := p.iqRot
 
 	issued := 0
 	portsUsed := 0
-	blocked := make([]bool, len(queues))
+	blocked := p.iqBlocked
 	for issued < p.cfg.IssueWidth {
 		progress := false
 		for qi, q := range queues {
@@ -376,12 +396,12 @@ func (p *Processor) execute(e *pipeline.DynInst, portsUsed *int) {
 // releasing their pseudo-ROB entries (multicheckpointing covers recovery).
 func (p *Processor) migrateToSLIQ() {
 	deadline := p.cycle - int64(p.cfg.SLIQTimer)
-	for _, age := range []*[]uint64{&p.ageI, &p.ageF} {
-		for len(*age) > 0 {
-			seq := (*age)[0]
+	for _, age := range [2]*pipeline.Ring64{&p.ageI, &p.ageF} {
+		for age.Len() > 0 {
+			seq := age.Front()
 			e := p.win.Get(seq)
 			if e.Seq != seq || e.Issued {
-				*age = (*age)[1:]
+				age.PopFront()
 				continue
 			}
 			if e.RenameCycle > deadline {
@@ -389,7 +409,7 @@ func (p *Processor) migrateToSLIQ() {
 			}
 			if e.Pending == 0 {
 				// Ready but waiting on select; it will issue soon.
-				*age = (*age)[1:]
+				age.PopFront()
 				continue
 			}
 			if p.sliq.Full() {
@@ -404,7 +424,7 @@ func (p *Processor) migrateToSLIQ() {
 			p.sliq.Insert(seq, false) // re-stamps e.Queue
 
 			p.robCount--
-			*age = (*age)[1:]
+			age.PopFront()
 			p.didWork = true
 		}
 	}
@@ -495,9 +515,9 @@ func (p *Processor) renameStage() {
 		q.Insert(seq, pending == 0)
 		if p.sliq != nil {
 			if q.ID() == pipeline.QInt {
-				p.ageI = append(p.ageI, seq)
+				p.ageI.PushBack(seq)
 			} else {
-				p.ageF = append(p.ageF, seq)
+				p.ageF.PushBack(seq)
 			}
 		}
 		p.robCount++

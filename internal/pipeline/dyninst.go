@@ -131,6 +131,12 @@ type Window struct {
 	mask    uint64
 }
 
+// consumersPrealloc is the per-entry Consumers capacity carved out of one
+// shared backing array at construction. Most instructions have at most a
+// few direct consumers; pre-seeding the capacity keeps the first window
+// generation from paying a grow-from-nil allocation per entry.
+const consumersPrealloc = 4
+
 // NewWindow builds an arena with capacity at least minCap (rounded up to a
 // power of two).
 func NewWindow(minCap int) *Window {
@@ -141,7 +147,15 @@ func NewWindow(minCap int) *Window {
 	for n < minCap {
 		n <<= 1
 	}
-	return &Window{entries: make([]DynInst, n), mask: uint64(n - 1)}
+	w := &Window{entries: make([]DynInst, n), mask: uint64(n - 1)}
+	backing := make([]uint64, n*consumersPrealloc)
+	for i := range w.entries {
+		// Three-index slicing caps each entry's slice so growth past the
+		// preallocated region reallocates instead of overwriting a
+		// neighbor's.
+		w.entries[i].Consumers = backing[i*consumersPrealloc : i*consumersPrealloc : (i+1)*consumersPrealloc]
+	}
+	return w
 }
 
 // Capacity returns the arena capacity.

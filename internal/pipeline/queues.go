@@ -1,20 +1,54 @@
 package pipeline
 
-import "container/heap"
+// The heaps below are hand-rolled rather than container/heap adapters on
+// purpose: heap.Push and heap.Pop traffic in interface{}, which boxes every
+// uint64 sequence number and every event struct onto the heap — one
+// allocation per EventQueue.Schedule and per IssueQueue wakeup, i.e. per
+// dynamic instruction. The sift loops are the textbook ones; pop order is
+// identical to container/heap's for the unique keys used here, so the
+// rewrite is behavior-invariant.
 
 // seqHeap is a min-heap of sequence numbers: oldest-first selection.
 type seqHeap []uint64
 
-func (h seqHeap) Len() int            { return len(h) }
-func (h seqHeap) Less(i, j int) bool  { return h[i] < h[j] }
-func (h seqHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *seqHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
-func (h *seqHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+func (h *seqHeap) push(v uint64) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent] <= s[i] {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *seqHeap) pop() uint64 {
+	s := *h
+	v := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(s) && s[r] < s[l] {
+			m = r
+		}
+		if s[i] <= s[m] {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return v
 }
 
 // IssueQueue models a reservation-station pool. In out-of-order mode any
@@ -27,8 +61,8 @@ type IssueQueue struct {
 	inOrder bool
 
 	size  int
-	ready seqHeap  // out-of-order mode: ready, waiting to be selected
-	fifo  []uint64 // in-order mode: all resident instructions, oldest first
+	ready seqHeap // out-of-order mode: ready, waiting to be selected
+	fifo  Ring64  // in-order mode: all resident instructions, oldest first
 	win   *Window
 }
 
@@ -68,11 +102,11 @@ func (q *IssueQueue) Insert(seq uint64, ready bool) {
 	q.size++
 	if q.inOrder {
 		// In-order Pop re-checks head readiness, so ready is implicit.
-		q.fifo = append(q.fifo, seq)
+		q.fifo.PushBack(seq)
 		return
 	}
 	if ready {
-		heap.Push(&q.ready, seq)
+		q.ready.push(seq)
 	}
 }
 
@@ -80,7 +114,7 @@ func (q *IssueQueue) Insert(seq uint64, ready bool) {
 // in out-of-order mode; the in-order queue re-checks its head on Pop.
 func (q *IssueQueue) Wake(seq uint64) {
 	if !q.inOrder {
-		heap.Push(&q.ready, seq)
+		q.ready.push(seq)
 	}
 }
 
@@ -88,26 +122,26 @@ func (q *IssueQueue) Wake(seq uint64) {
 // or returns false if none is eligible this cycle.
 func (q *IssueQueue) Pop() (uint64, bool) {
 	if q.inOrder {
-		for len(q.fifo) > 0 {
-			seq := q.fifo[0]
+		for q.fifo.Len() > 0 {
+			seq := q.fifo.Front()
 			e := q.win.Get(seq)
 			if e.Issued || e.Seq != seq || e.Queue != q.id {
 				// Stale entry (migrated or already gone); its size
 				// contribution was released when it left.
-				q.fifo = q.fifo[1:]
+				q.fifo.PopFront()
 				continue
 			}
 			if e.Pending > 0 {
 				return 0, false // head not ready: in-order stall
 			}
-			q.fifo = q.fifo[1:]
+			q.fifo.PopFront()
 			q.size--
 			return seq, true
 		}
 		return 0, false
 	}
-	for q.ready.Len() > 0 {
-		seq := heap.Pop(&q.ready).(uint64)
+	for len(q.ready) > 0 {
+		seq := q.ready.pop()
 		e := q.win.Get(seq)
 		if e.Issued || e.Seq != seq || e.Queue != q.id || e.Pending > 0 {
 			continue // stale wakeup
@@ -131,24 +165,24 @@ func (q *IssueQueue) RemoveWaiting() {
 }
 
 // Unpop reinserts an instruction whose issue was blocked by a structural
-// hazard (functional unit or memory port busy); it stays eligible.
+// hazard (functional unit or memory port busy); it stays eligible. In
+// in-order mode it becomes the head of the FIFO again in O(1) — under
+// memory-port pressure Unpop runs once per blocked issue attempt, so a
+// shift-everything prepend would be quadratic in queue occupancy.
 func (q *IssueQueue) Unpop(seq uint64) {
 	q.size++
 	if q.inOrder {
-		// Head of the FIFO again: prepend.
-		q.fifo = append(q.fifo, 0)
-		copy(q.fifo[1:], q.fifo)
-		q.fifo[0] = seq
+		q.fifo.PushFront(seq)
 		return
 	}
-	heap.Push(&q.ready, seq)
+	q.ready.push(seq)
 }
 
 // Reset empties the queue.
 func (q *IssueQueue) Reset() {
 	q.size = 0
 	q.ready = q.ready[:0]
-	q.fifo = q.fifo[:0]
+	q.fifo.Reset()
 }
 
 // EventQueue schedules instruction completions by cycle.
@@ -161,28 +195,61 @@ type event struct {
 	seq   uint64
 }
 
+// eventHeap is a min-heap of events ordered by (cycle, seq). The (cycle,
+// seq) pairs are unique — a sequence number has at most one completion in
+// flight — so pop order is a total order independent of heap layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].cycle != h[j].cycle {
-		return h[i].cycle < h[j].cycle
+func (a event) less(b event) bool {
+	if a.cycle != b.cycle {
+		return a.cycle < b.cycle
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+
+func (h *eventHeap) push(v event) {
+	s := append(*h, v)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].less(s[parent]) {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	v := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(s) {
+			break
+		}
+		m := l
+		if r := l + 1; r < len(s) && s[r].less(s[l]) {
+			m = r
+		}
+		if !s[m].less(s[i]) {
+			break
+		}
+		s[i], s[m] = s[m], s[i]
+		i = m
+	}
+	return v
 }
 
 // Schedule enqueues seq to complete at the given cycle.
 func (e *EventQueue) Schedule(cycle int64, seq uint64) {
-	heap.Push(&e.h, event{cycle, seq})
+	e.h.push(event{cycle, seq})
 }
 
 // PopDue removes and returns the next event due at or before cycle.
@@ -190,8 +257,7 @@ func (e *EventQueue) PopDue(cycle int64) (uint64, bool) {
 	if len(e.h) == 0 || e.h[0].cycle > cycle {
 		return 0, false
 	}
-	ev := heap.Pop(&e.h).(event)
-	return ev.seq, true
+	return e.h.pop().seq, true
 }
 
 // NextCycle returns the cycle of the earliest pending event.

@@ -1,0 +1,88 @@
+package pipeline
+
+// Ring64 is a growable ring buffer of uint64 values (sequence numbers in
+// this package's use). It replaces the reslice-and-append FIFO idiom
+// (`s = s[1:]` to pop, `append` to push) in the simulator's cycle loop: that
+// idiom keeps the popped prefix live in the backing array while the tail
+// appends past it, so a multi-million-instruction run retains and regrows
+// dead prefixes without bound. A ring reuses the freed slots in place, pushes
+// and pops in O(1) at both the front and the back, and allocates only when
+// occupancy exceeds every previous high-water mark.
+//
+// The zero value is an empty ring ready for use.
+type Ring64 struct {
+	buf  []uint64 // power-of-two length, so index math is a mask
+	head int      // index of the front element when n > 0
+	n    int
+}
+
+// Len returns the number of buffered values.
+func (r *Ring64) Len() int { return r.n }
+
+// Cap returns the current backing capacity (0 for a fresh zero value).
+func (r *Ring64) Cap() int { return len(r.buf) }
+
+// grow doubles the backing array, unwrapping the live region to the front.
+func (r *Ring64) grow() {
+	size := 2 * len(r.buf)
+	if size == 0 {
+		size = 16
+	}
+	buf := make([]uint64, size)
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&mask]
+	}
+	r.buf = buf
+	r.head = 0
+}
+
+// PushBack appends v at the tail.
+func (r *Ring64) PushBack(v uint64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// PushFront prepends v at the head in O(1) — the operation the in-order
+// issue queue needs for Unpop after a structural-hazard stall.
+func (r *Ring64) PushFront(v uint64) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.head = (r.head - 1) & (len(r.buf) - 1)
+	r.buf[r.head] = v
+	r.n++
+}
+
+// Front returns the head value. It panics on an empty ring.
+func (r *Ring64) Front() uint64 {
+	if r.n == 0 {
+		panic("pipeline: Front of empty Ring64")
+	}
+	return r.buf[r.head]
+}
+
+// PopFront removes and returns the head value. It panics on an empty ring.
+func (r *Ring64) PopFront() uint64 {
+	if r.n == 0 {
+		panic("pipeline: PopFront of empty Ring64")
+	}
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// At returns the i-th value from the front, 0 <= i < Len.
+func (r *Ring64) At(i int) uint64 {
+	if i < 0 || i >= r.n {
+		panic("pipeline: Ring64 index out of range")
+	}
+	return r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
+// Reset empties the ring, keeping its capacity.
+func (r *Ring64) Reset() { r.head, r.n = 0, 0 }

@@ -1,0 +1,125 @@
+package pipeline
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRing64Basics(t *testing.T) {
+	var r Ring64
+	if r.Len() != 0 || r.Cap() != 0 {
+		t.Fatal("zero value not empty")
+	}
+	for i := uint64(0); i < 5; i++ {
+		r.PushBack(i)
+	}
+	if r.Len() != 5 || r.Front() != 0 || r.At(4) != 4 {
+		t.Fatalf("after pushes: len %d front %d", r.Len(), r.Front())
+	}
+	r.PushFront(99)
+	if r.Front() != 99 || r.Len() != 6 {
+		t.Fatalf("PushFront: front %d len %d", r.Front(), r.Len())
+	}
+	if got := r.PopFront(); got != 99 {
+		t.Fatalf("PopFront = %d", got)
+	}
+	for want := uint64(0); want < 5; want++ {
+		if got := r.PopFront(); got != want {
+			t.Fatalf("PopFront = %d, want %d", got, want)
+		}
+	}
+	r.PushBack(7)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatal("Reset did not empty")
+	}
+	if r.Cap() == 0 {
+		t.Fatal("Reset dropped capacity")
+	}
+}
+
+func TestRing64EmptyPanics(t *testing.T) {
+	for name, f := range map[string]func(*Ring64){
+		"Front":    func(r *Ring64) { r.Front() },
+		"PopFront": func(r *Ring64) { r.PopFront() },
+		"At":       func(r *Ring64) { r.At(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on empty ring must panic", name)
+				}
+			}()
+			var r Ring64
+			f(&r)
+		}()
+	}
+}
+
+// TestRing64MatchesSliceSemantics drives a ring and a plain-slice deque with
+// the same operation stream and checks every observable agrees — the
+// property that makes the FIFO swap in IssueQueue/LLIB behavior-invariant.
+func TestRing64MatchesSliceSemantics(t *testing.T) {
+	err := quick.Check(func(ops []uint8) bool {
+		var r Ring64
+		var ref []uint64
+		next := uint64(0)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1: // bias toward growth so wrap and grow both happen
+				r.PushBack(next)
+				ref = append(ref, next)
+				next++
+			case 2:
+				r.PushFront(next)
+				ref = append([]uint64{next}, ref...)
+				next++
+			case 3:
+				if len(ref) == 0 {
+					continue
+				}
+				if r.PopFront() != ref[0] {
+					return false
+				}
+				ref = ref[1:]
+			}
+			if r.Len() != len(ref) {
+				return false
+			}
+			for i, v := range ref {
+				if r.At(i) != v {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRing64SteadyStateDoesNotGrow is the memory-growth regression test for
+// the reslice-and-append leak: pumping far more values through the ring than
+// its occupancy must leave capacity at the occupancy high-water mark. The
+// old `s = s[1:]` + append FIFOs reallocated their backing array on every
+// wrap, retaining each dead prefix until the next collection.
+func TestRing64SteadyStateDoesNotGrow(t *testing.T) {
+	var r Ring64
+	const occupancy = 1000
+	for i := uint64(0); i < occupancy; i++ {
+		r.PushBack(i)
+	}
+	capAfterFill := r.Cap()
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := 0; i < 1_000_000; i++ {
+			r.PushBack(r.PopFront())
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state churn allocated %.0f times per million ops, want 0", allocs)
+	}
+	if r.Cap() != capAfterFill {
+		t.Errorf("capacity grew from %d to %d with occupancy constant", capAfterFill, r.Cap())
+	}
+}
