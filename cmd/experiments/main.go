@@ -6,6 +6,8 @@
 //	experiments -run fig9
 //	experiments -run all -quick
 //	experiments -run fig3 -csv
+//	experiments -run fig9 -sample
+//	experiments -run sampled -quick
 //	experiments -run all -quick -json > artifact.json
 //	experiments -run all -parallel 4
 //	experiments -run all -cache-dir ~/.cache/dkip
@@ -23,6 +25,13 @@
 // exactly once per invocation, -parallel bounds the worker pool, and -json
 // emits a machine-readable artifact holding every table, the structured
 // per-run records, and the runner's dedup metrics.
+//
+// -sample replaces full-detail simulation with sampled simulation: a
+// functional cursor warms caches and predictors between periodic detailed
+// measurement intervals (default plan, roughly 10x less detailed work), and
+// each run's artifact record carries the CPI confidence interval alongside
+// the interval layout. The "sampled" experiment quantifies the error this
+// introduces against full-detail runs over the Figure 9 grid.
 //
 // -cache-dir adds a persistent content-addressed result store under the
 // in-process cache: a second invocation over the same directory simulates
@@ -54,6 +63,7 @@ import (
 	"time"
 
 	"dkip/internal/experiments"
+	"dkip/internal/sample"
 	"dkip/internal/serve"
 	"dkip/internal/sim"
 )
@@ -76,6 +86,7 @@ func main() {
 		parallel       = flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 		warmup         = flag.Uint64("warmup", 0, "override warmup instructions per run")
 		measure        = flag.Uint64("measure", 0, "override measured instructions per run")
+		sampled        = flag.Bool("sample", false, "sampled simulation: functional warming with periodic detailed intervals (default plan, ~10x less detailed work)")
 		cacheDir       = flag.String("cache-dir", "", "persistent result-store directory (warm-starts later invocations)")
 		shard          = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
 		remote         = flag.String("remote", "", "comma-separated dkipd base URLs: one forwards every run to that daemon, several federate a fleet (key-routed, retrying)")
@@ -108,6 +119,10 @@ func main() {
 	}
 	if *measure > 0 {
 		scale.Measure = *measure
+	}
+	if *sampled {
+		p := sample.DefaultPlan()
+		scale.Sample = &p
 	}
 
 	var runner sim.Backend

@@ -1,0 +1,71 @@
+// Package ckpt defines architectural checkpoints for sampled simulation: a
+// serializable snapshot of the state that functional warmup establishes —
+// cache contents, branch-predictor tables, the confidence estimator, and the
+// generator cursor — everything a detailed measurement interval needs to
+// start as if the whole stream prefix had been simulated, without replaying
+// it.
+//
+// Checkpoints are deliberately microarchitecture-free: no pipeline, window,
+// or queue state is captured, because sampled intervals re-fill those
+// structures during their detailed-warmup instructions (see internal/sample).
+// That is what lets machines that differ only in window or queue geometry
+// share checkpoints: the snapshot is a pure function of (workload prefix,
+// memory configuration, predictor configuration).
+//
+// The binary codec (Encode/Decode) is versioned and exact — every field is an
+// integer, so a restored engine replays bit-for-bit identically to one warmed
+// in place. That exactness is what the CI checkpoint-determinism gate relies
+// on: resuming a killed sweep from stored checkpoints must reproduce the
+// from-cold artifact byte for byte.
+package ckpt
+
+import (
+	"dkip/internal/isa"
+	"dkip/internal/mem"
+	"dkip/internal/predictor"
+	"dkip/internal/trace"
+)
+
+// Checkpoint is the architectural state at a stream position.
+type Checkpoint struct {
+	// Bench names the workload whose stream Pos indexes into. Restore does
+	// not interpret it; it travels with the snapshot so mismatched reuse is
+	// detectable.
+	Bench string
+	// Pos is the generator cursor: the number of instructions consumed from
+	// the start of the stream. Because generators are deterministic, the
+	// cursor alone reconstructs the stream suffix (Reset + skip).
+	Pos uint64
+	// Hier is the cache contents (tags, valid bits, LRU clocks).
+	Hier mem.HierarchyState
+	// PredName identifies the predictor the Pred snapshot came from, as a
+	// guard against restoring e.g. gshare state into a perceptron.
+	PredName string
+	// Pred is the predictor's Stateful snapshot.
+	Pred []byte
+	// Conf is the confidence estimator's snapshot, or nil when the engine
+	// family has no estimator (the out-of-order baselines).
+	Conf []byte
+}
+
+// WarmFunctional advances the architectural state by n instructions of g
+// without simulating any pipeline: loads and stores walk the cache
+// hierarchy, branches train the predictor (and confidence estimator, when
+// present), everything else is skipped. The predictor sees exactly the
+// Predict/Update sequence the detailed fetch stages issue, so functionally
+// warmed state is indistinguishable from detailed-run state.
+func WarmFunctional(h *mem.Hierarchy, bp predictor.Predictor, conf *predictor.Confidence, g trace.Generator, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		in := g.Next()
+		switch in.Op {
+		case isa.Load, isa.Store:
+			h.Access(in.Addr)
+		case isa.Branch:
+			pred := bp.Predict(in.PC)
+			bp.Update(in.PC, in.Taken)
+			if conf != nil {
+				conf.Update(in.PC, pred == in.Taken)
+			}
+		}
+	}
+}

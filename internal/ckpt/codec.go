@@ -1,0 +1,271 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dkip/internal/mem"
+)
+
+// Binary checkpoint format, version 1. Everything is little-endian:
+//
+//	header:  magic "DKCP" | version u32 | pos u64
+//	strings: bench (u32 len + bytes) | predictor name (u32 len + bytes)
+//	blobs:   predictor state (u32 len + bytes)
+//	         confidence state (presence u8, then u32 len + bytes when 1)
+//	caches:  L1 then L2, each: presence u8, then
+//	         size u32 | line u32 | assoc u32 | clock u64 | ways u32 |
+//	         tags ways×u64 | valid ways×u8 | lru ways×u64
+//
+// The format is self-describing enough for Decode to fail loudly on
+// truncation, corruption, or a version it does not speak — the store may
+// hold checkpoints written by an older binary.
+const (
+	ckptMagic   = "DKCP"
+	ckptVersion = 1
+
+	// maxSection caps any single length prefix; a corrupt header must not
+	// drive a multi-gigabyte allocation.
+	maxSection = 1 << 28
+)
+
+// Encode serializes a checkpoint.
+func Encode(c *Checkpoint) []byte {
+	b := make([]byte, 0, encodedSize(c))
+	b = append(b, ckptMagic...)
+	b = binary.LittleEndian.AppendUint32(b, ckptVersion)
+	b = binary.LittleEndian.AppendUint64(b, c.Pos)
+	b = appendBytes(b, []byte(c.Bench))
+	b = appendBytes(b, []byte(c.PredName))
+	b = appendBytes(b, c.Pred)
+	if c.Conf != nil {
+		b = append(b, 1)
+		b = appendBytes(b, c.Conf)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendCache(b, c.Hier.L1)
+	b = appendCache(b, c.Hier.L2)
+	return b
+}
+
+func encodedSize(c *Checkpoint) int {
+	n := 4 + 4 + 8 + 4 + len(c.Bench) + 4 + len(c.PredName) + 4 + len(c.Pred) + 1 + 4 + len(c.Conf) + 2
+	for _, cs := range []*mem.CacheState{c.Hier.L1, c.Hier.L2} {
+		if cs != nil {
+			n += 4*4 + 8 + len(cs.Tags)*17
+		}
+	}
+	return n
+}
+
+func appendBytes(b, data []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
+}
+
+func appendCache(b []byte, cs *mem.CacheState) []byte {
+	if cs == nil {
+		return append(b, 0)
+	}
+	b = append(b, 1)
+	b = binary.LittleEndian.AppendUint32(b, uint32(cs.Size))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cs.Line))
+	b = binary.LittleEndian.AppendUint32(b, uint32(cs.Assoc))
+	b = binary.LittleEndian.AppendUint64(b, cs.Clock)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(cs.Tags)))
+	for _, t := range cs.Tags {
+		b = binary.LittleEndian.AppendUint64(b, t)
+	}
+	for _, v := range cs.Valid {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	for _, l := range cs.LRU {
+		b = binary.LittleEndian.AppendUint64(b, l)
+	}
+	return b
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) fail(format string, args ...interface{}) error {
+	return fmt.Errorf("ckpt: "+format, args...)
+}
+
+func (d *decoder) need(n int) ([]byte, error) {
+	if n < 0 || d.pos+n > len(d.data) {
+		return nil, d.fail("truncated at byte %d (need %d of %d)", d.pos, n, len(d.data))
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+func (d *decoder) u8() (byte, error) {
+	b, err := d.need(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	b, err := d.need(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	b, err := d.need(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+func (d *decoder) blob() ([]byte, error) {
+	n, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxSection {
+		return nil, d.fail("implausible section length %d", n)
+	}
+	b, err := d.need(int(n))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out, nil
+}
+
+func (d *decoder) cache() (*mem.CacheState, error) {
+	present, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if present == 0 {
+		return nil, nil
+	}
+	size, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	line, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	assoc, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	clock, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	ways, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ways > maxSection/17 {
+		return nil, d.fail("implausible cache way count %d", ways)
+	}
+	if size > math.MaxInt32 || line > math.MaxInt32 || assoc > math.MaxInt32 {
+		return nil, d.fail("implausible cache geometry %d/%d/%d", size, line, assoc)
+	}
+	cs := &mem.CacheState{
+		Size:  int(size),
+		Line:  int(line),
+		Assoc: int(assoc),
+		Clock: clock,
+		Tags:  make([]uint64, ways),
+		Valid: make([]bool, ways),
+		LRU:   make([]uint64, ways),
+	}
+	for i := range cs.Tags {
+		if cs.Tags[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	raw, err := d.need(int(ways))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range raw {
+		cs.Valid[i] = v != 0
+	}
+	for i := range cs.LRU {
+		if cs.LRU[i], err = d.u64(); err != nil {
+			return nil, err
+		}
+	}
+	return cs, nil
+}
+
+// Decode deserializes a checkpoint written by Encode. It validates magic,
+// version, and internal structure, but not that the state fits any
+// particular engine — restore does that.
+func Decode(data []byte) (*Checkpoint, error) {
+	d := &decoder{data: data}
+	magic, err := d.need(4)
+	if err != nil {
+		return nil, err
+	}
+	if string(magic) != ckptMagic {
+		return nil, d.fail("bad magic %q", magic)
+	}
+	version, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if version != ckptVersion {
+		return nil, d.fail("unsupported version %d (speak %d)", version, ckptVersion)
+	}
+	c := &Checkpoint{}
+	if c.Pos, err = d.u64(); err != nil {
+		return nil, err
+	}
+	bench, err := d.blob()
+	if err != nil {
+		return nil, err
+	}
+	c.Bench = string(bench)
+	name, err := d.blob()
+	if err != nil {
+		return nil, err
+	}
+	c.PredName = string(name)
+	if c.Pred, err = d.blob(); err != nil {
+		return nil, err
+	}
+	present, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if present != 0 {
+		if c.Conf, err = d.blob(); err != nil {
+			return nil, err
+		}
+	}
+	if c.Hier.L1, err = d.cache(); err != nil {
+		return nil, err
+	}
+	if c.Hier.L2, err = d.cache(); err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.data) {
+		return nil, d.fail("%d trailing bytes", len(d.data)-d.pos)
+	}
+	return c, nil
+}

@@ -1,0 +1,97 @@
+package ckpt
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"dkip/internal/mem"
+)
+
+// sampleCheckpoint builds a fully-populated checkpoint: both cache levels,
+// predictor and confidence blobs.
+func sampleCheckpoint() *Checkpoint {
+	mk := func(ways int, seed uint64) *mem.CacheState {
+		cs := &mem.CacheState{
+			Size: 32 * 1024, Line: 64, Assoc: 4, Clock: 99 + seed,
+			Tags:  make([]uint64, ways),
+			Valid: make([]bool, ways),
+			LRU:   make([]uint64, ways),
+		}
+		for i := range cs.Tags {
+			cs.Tags[i] = seed + uint64(i)*3
+			cs.Valid[i] = i%2 == 0
+			cs.LRU[i] = seed ^ uint64(i)
+		}
+		return cs
+	}
+	return &Checkpoint{
+		Bench:    "mcf",
+		Pos:      123456,
+		Hier:     mem.HierarchyState{L1: mk(8, 7), L2: mk(16, 11)},
+		PredName: "perceptron",
+		Pred:     []byte{1, 2, 3, 4, 5},
+		Conf:     []byte{9, 8},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	for name, c := range map[string]*Checkpoint{
+		"full":    sampleCheckpoint(),
+		"no-conf": func() *Checkpoint { c := sampleCheckpoint(); c.Conf = nil; return c }(),
+		"no-l2":   func() *Checkpoint { c := sampleCheckpoint(); c.Hier.L2 = nil; return c }(),
+		"minimal": {Bench: "", PredName: "static", Pred: []byte{}},
+	} {
+		data := Encode(c)
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(c, got) {
+			t.Errorf("%s: round trip mismatch\nin:  %+v\nout: %+v", name, c, got)
+		}
+	}
+}
+
+// TestCodecDeterministic pins byte-determinism: identical checkpoints encode
+// to identical bytes (content-keyed storage and the CI artifact diff both
+// depend on it).
+func TestCodecDeterministic(t *testing.T) {
+	a, b := Encode(sampleCheckpoint()), Encode(sampleCheckpoint())
+	if !bytes.Equal(a, b) {
+		t.Error("two encodings of one checkpoint differ")
+	}
+}
+
+// TestDecodeRejectsCorruption truncates the valid encoding at every length
+// and flips the header fields: every case must return an error, never panic
+// or silently succeed.
+func TestDecodeRejectsCorruption(t *testing.T) {
+	data := Encode(sampleCheckpoint())
+	for n := 0; n < len(data); n++ {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded cleanly", n, len(data))
+		}
+	}
+	if _, err := Decode(append(append([]byte{}, data...), 0)); err == nil {
+		t.Error("trailing byte decoded cleanly")
+	}
+	bad := append([]byte{}, data...)
+	copy(bad, "JUNK")
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad magic decoded cleanly")
+	}
+	bad = append([]byte{}, data...)
+	binary.LittleEndian.PutUint32(bad[4:], ckptVersion+1)
+	if _, err := Decode(bad); err == nil {
+		t.Error("future version decoded cleanly")
+	}
+	// A hostile length prefix (bench length) must be rejected before any
+	// allocation that size.
+	bad = append([]byte{}, data...)
+	binary.LittleEndian.PutUint32(bad[16:], maxSection+1)
+	if _, err := Decode(bad); err == nil {
+		t.Error("implausible section length decoded cleanly")
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"dkip/internal/ckpt"
+	"dkip/internal/predictor"
+	"dkip/internal/trace"
+)
+
+// WarmFunctional advances the processor's architectural state — caches,
+// branch predictor, confidence estimator — by n instructions of g without
+// simulating the pipeline. internal/sample uses this as the fast-forward
+// mode between detailed measurement intervals.
+func (p *Processor) WarmFunctional(g trace.Generator, n uint64) {
+	ckpt.WarmFunctional(p.hier, p.bp, p.conf, g, n)
+}
+
+// CaptureArch snapshots the architectural state into a checkpoint at stream
+// position pos of workload bench. It fails when the configured predictor
+// does not implement predictor.Stateful (custom constructors may not).
+func (p *Processor) CaptureArch(bench string, pos uint64) (*ckpt.Checkpoint, error) {
+	pred, err := p.bp.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	conf, err := p.conf.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	return &ckpt.Checkpoint{
+		Bench:    bench,
+		Pos:      pos,
+		Hier:     p.hier.State(),
+		PredName: p.bp.Name(),
+		Pred:     pred,
+		Conf:     conf,
+	}, nil
+}
+
+// RestoreArch loads a checkpoint captured by CaptureArch (or by the
+// out-of-order engine's, when the confidence section is absent the estimator
+// is left untrained). The caller still owns positioning the generator at
+// c.Pos.
+func (p *Processor) RestoreArch(c *ckpt.Checkpoint) error {
+	if c.PredName != p.bp.Name() {
+		return fmt.Errorf("core: checkpoint predictor %q does not match %q", c.PredName, p.bp.Name())
+	}
+	if err := p.hier.SetState(c.Hier); err != nil {
+		return err
+	}
+	if err := p.bp.LoadState(c.Pred); err != nil {
+		return err
+	}
+	if c.Conf != nil {
+		if err := p.conf.LoadState(c.Conf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Confidence returns the branch confidence estimator, exported for the
+// sampling driver's functional-warm cursor.
+func (p *Processor) Confidence() *predictor.Confidence { return p.conf }

@@ -13,15 +13,19 @@ import (
 	"dkip/internal/core"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
+	"dkip/internal/sample"
 	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
 // Scale controls simulation length: warmup instructions (not measured) and
-// measured instructions per benchmark/configuration pair.
+// measured instructions per benchmark/configuration pair. A non-nil Sample
+// runs every simulation sampled under that plan (functional warming with
+// periodic detailed intervals) instead of in full detail.
 type Scale struct {
-	Warmup  uint64 `json:"warmup"`
-	Measure uint64 `json:"measure"`
+	Warmup  uint64       `json:"warmup"`
+	Measure uint64       `json:"measure"`
+	Sample  *sample.Plan `json:"sample,omitempty"`
 }
 
 // QuickScale is sized for test suites and benchmarks: seconds per experiment.
@@ -102,20 +106,21 @@ var registry = map[string]struct {
 	title string
 	fn    func(sim.Backend, Scale) *Table
 }{
-	"table1": {"Memory subsystem configurations (limit study)", Table1},
-	"table2": {"Invariant architectural parameters", Table2},
-	"table3": {"Default values for variable parameters", Table3},
-	"fig1":   {"IPC vs window size under six memory subsystems, SpecINT", Figure1},
-	"fig2":   {"IPC vs window size under six memory subsystems, SpecFP", Figure2},
-	"fig3":   {"Decode-to-issue distance histogram, SpecFP, MEM-400", Figure3},
-	"fig9":   {"D-KIP vs baselines and the traditional KILO processor", Figure9},
-	"fig10":  {"Impact of scheduling policy and queue sizes, SpecFP", Figure10},
-	"fig11":  {"Impact of L2 cache size, SpecINT", Figure11},
-	"fig12":  {"Impact of L2 cache size, SpecFP", Figure12},
-	"fig13":  {"Maximum LLIB occupancy (instructions and registers), SpecINT", Figure13},
-	"fig14":  {"Maximum LLIB occupancy (instructions and registers), SpecFP", Figure14},
-	"sec43":  {"Scheduler-policy speedup summary (Section 4.3)", Section43},
-	"sec44":  {"Cache-processor instruction share vs L2 size (Section 4.4)", Section44},
+	"table1":  {"Memory subsystem configurations (limit study)", Table1},
+	"table2":  {"Invariant architectural parameters", Table2},
+	"table3":  {"Default values for variable parameters", Table3},
+	"fig1":    {"IPC vs window size under six memory subsystems, SpecINT", Figure1},
+	"fig2":    {"IPC vs window size under six memory subsystems, SpecFP", Figure2},
+	"fig3":    {"Decode-to-issue distance histogram, SpecFP, MEM-400", Figure3},
+	"fig9":    {"D-KIP vs baselines and the traditional KILO processor", Figure9},
+	"fig10":   {"Impact of scheduling policy and queue sizes, SpecFP", Figure10},
+	"fig11":   {"Impact of L2 cache size, SpecINT", Figure11},
+	"fig12":   {"Impact of L2 cache size, SpecFP", Figure12},
+	"fig13":   {"Maximum LLIB occupancy (instructions and registers), SpecINT", Figure13},
+	"fig14":   {"Maximum LLIB occupancy (instructions and registers), SpecFP", Figure14},
+	"sec43":   {"Scheduler-policy speedup summary (Section 4.3)", Section43},
+	"sampled": {"Sampled vs full-detail CPI across the Figure 9 grid", SampledAccuracy},
+	"sec44":   {"Cache-processor instruction share vs L2 size (Section 4.4)", Section44},
 
 	"ablation-analyze":    {"Analyze-stage stall vs idealized analyze", AblationAnalyze},
 	"ablation-runahead":   {"Runahead execution vs the D-KIP (related-work alternative)", AblationRunahead},
@@ -239,14 +244,40 @@ func runAll(r sim.Backend, jobs []job) map[string]*pipeline.Stats {
 	return out
 }
 
+// runAllResults is runAll keeping the whole Result per job, for experiments
+// that need more than pipeline stats (e.g. the sampling summary).
+func runAllResults(r sim.Backend, jobs []job) map[string]*sim.Result {
+	specs := make([]sim.RunSpec, len(jobs))
+	for i, j := range jobs {
+		specs[i] = j.spec
+	}
+	results, err := r.RunAll(specs)
+	if err != nil {
+		panic(backendError{fmt.Errorf("experiments: %w", err)})
+	}
+	out := make(map[string]*sim.Result, len(jobs))
+	for i, j := range jobs {
+		out[j.key] = results[i]
+	}
+	return out
+}
+
 // runOOO builds a job simulating an out-of-order (or KILO) configuration.
 func runOOO(key, bench string, cfg ooo.Config, s Scale) job {
-	return job{key: key, spec: sim.OOOSpec(bench, cfg, s.Warmup, s.Measure)}
+	j := job{key: key, spec: sim.OOOSpec(bench, cfg, s.Warmup, s.Measure)}
+	if s.Sample != nil {
+		j.spec.Sample = *s.Sample
+	}
+	return j
 }
 
 // runDKIP builds a job simulating a D-KIP configuration.
 func runDKIP(key, bench string, cfg core.Config, s Scale) job {
-	return job{key: key, spec: sim.DKIPSpec(bench, cfg, s.Warmup, s.Measure)}
+	j := job{key: key, spec: sim.DKIPSpec(bench, cfg, s.Warmup, s.Measure)}
+	if s.Sample != nil {
+		j.spec.Sample = *s.Sample
+	}
+	return j
 }
 
 // suiteMean averages IPC over a suite from keyed results; key is

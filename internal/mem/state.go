@@ -1,0 +1,99 @@
+package mem
+
+import "fmt"
+
+// CacheState is a deep snapshot of a cache's architectural contents: tags,
+// valid bits, and LRU clocks, but not access statistics. It feeds the
+// checkpoint codec in internal/ckpt, so every field is an exact integer —
+// a restored cache replays byte-for-byte identically to one that was warmed
+// in place.
+type CacheState struct {
+	// Geometry echo, validated on restore: a snapshot only fits a cache
+	// with the same shape.
+	Size  int
+	Line  int
+	Assoc int
+
+	Clock uint64
+	Tags  []uint64
+	Valid []bool
+	LRU   []uint64
+}
+
+// State returns a deep snapshot of the cache's contents.
+func (c *Cache) State() *CacheState {
+	st := &CacheState{
+		Size:  c.sizeBytes,
+		Line:  c.lineBytes,
+		Assoc: c.assoc,
+		Clock: c.clock,
+		Tags:  make([]uint64, len(c.tags)),
+		Valid: make([]bool, len(c.valid)),
+		LRU:   make([]uint64, len(c.lru)),
+	}
+	copy(st.Tags, c.tags)
+	copy(st.Valid, c.valid)
+	copy(st.LRU, c.lru)
+	return st
+}
+
+// SetState restores a snapshot taken by State. The snapshot must come from a
+// cache with identical geometry; statistics are left untouched.
+func (c *Cache) SetState(st *CacheState) error {
+	if st == nil {
+		return fmt.Errorf("mem: cache %q: nil state", c.name)
+	}
+	if st.Size != c.sizeBytes || st.Line != c.lineBytes || st.Assoc != c.assoc {
+		return fmt.Errorf("mem: cache %q: state geometry %d/%d/%d does not match cache %d/%d/%d",
+			c.name, st.Size, st.Line, st.Assoc, c.sizeBytes, c.lineBytes, c.assoc)
+	}
+	if len(st.Tags) != len(c.tags) || len(st.Valid) != len(c.valid) || len(st.LRU) != len(c.lru) {
+		return fmt.Errorf("mem: cache %q: state arrays sized %d/%d/%d, want %d",
+			c.name, len(st.Tags), len(st.Valid), len(st.LRU), len(c.tags))
+	}
+	copy(c.tags, st.Tags)
+	copy(c.valid, st.Valid)
+	copy(c.lru, st.LRU)
+	c.clock = st.Clock
+	return nil
+}
+
+// HierarchyState is a deep snapshot of a hierarchy's cache contents. A nil
+// level records that the hierarchy has no cache at that level (perfect or
+// absent), which restore validates.
+type HierarchyState struct {
+	L1 *CacheState
+	L2 *CacheState
+}
+
+// State returns a deep snapshot of the hierarchy's cache contents.
+func (h *Hierarchy) State() HierarchyState {
+	var st HierarchyState
+	if h.l1 != nil {
+		st.L1 = h.l1.State()
+	}
+	if h.l2 != nil {
+		st.L2 = h.l2.State()
+	}
+	return st
+}
+
+// SetState restores a snapshot taken by State into a hierarchy of identical
+// configuration. Statistics are left untouched.
+func (h *Hierarchy) SetState(st HierarchyState) error {
+	if (h.l1 == nil) != (st.L1 == nil) || (h.l2 == nil) != (st.L2 == nil) {
+		return fmt.Errorf("mem: hierarchy %q: state levels (L1=%v,L2=%v) do not match hierarchy (L1=%v,L2=%v)",
+			h.cfg.Name, st.L1 != nil, st.L2 != nil, h.l1 != nil, h.l2 != nil)
+	}
+	if h.l1 != nil {
+		if err := h.l1.SetState(st.L1); err != nil {
+			return err
+		}
+	}
+	if h.l2 != nil {
+		if err := h.l2.SetState(st.L2); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package ooo
+
+import (
+	"fmt"
+
+	"dkip/internal/ckpt"
+	"dkip/internal/trace"
+)
+
+// WarmFunctional advances the processor's architectural state — caches and
+// branch predictor — by n instructions of g without simulating the pipeline.
+// internal/sample uses this as the fast-forward mode between detailed
+// measurement intervals.
+func (p *Processor) WarmFunctional(g trace.Generator, n uint64) {
+	ckpt.WarmFunctional(p.hier, p.bp, nil, g, n)
+}
+
+// CaptureArch snapshots the architectural state into a checkpoint at stream
+// position pos of workload bench. It fails when the configured predictor
+// does not implement predictor.Stateful (custom constructors may not).
+func (p *Processor) CaptureArch(bench string, pos uint64) (*ckpt.Checkpoint, error) {
+	pred, err := p.bp.SaveState()
+	if err != nil {
+		return nil, err
+	}
+	return &ckpt.Checkpoint{
+		Bench:    bench,
+		Pos:      pos,
+		Hier:     p.hier.State(),
+		PredName: p.bp.Name(),
+		Pred:     pred,
+	}, nil
+}
+
+// RestoreArch loads a checkpoint captured by CaptureArch. Any confidence
+// section is ignored: this engine family has no estimator. The caller still
+// owns positioning the generator at c.Pos.
+func (p *Processor) RestoreArch(c *ckpt.Checkpoint) error {
+	if c.PredName != p.bp.Name() {
+		return fmt.Errorf("ooo: checkpoint predictor %q does not match %q", c.PredName, p.bp.Name())
+	}
+	if err := p.hier.SetState(c.Hier); err != nil {
+		return err
+	}
+	return p.bp.LoadState(c.Pred)
+}

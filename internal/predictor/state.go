@@ -1,0 +1,234 @@
+package predictor
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Stateful is implemented by predictors whose trained state can be
+// snapshotted and restored, which is what makes them checkpointable (see
+// internal/ckpt). The snapshot is a self-describing little-endian byte
+// string: it leads with the table geometry so LoadState can refuse a
+// snapshot taken from a differently shaped predictor instead of silently
+// mistraining.
+//
+// Snapshots capture architectural training state only — tables and history
+// registers — not transient per-prediction memos or accuracy counters, so a
+// restored predictor behaves identically from the next Predict/Update pair
+// onward.
+type Stateful interface {
+	SaveState() ([]byte, error)
+	LoadState(data []byte) error
+}
+
+// putU32/putU64 append little-endian integers; the readers below mirror them.
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+type stateReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *stateReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+4 > len(r.data) {
+		r.err = fmt.Errorf("predictor: truncated state at byte %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.pos:])
+	r.pos += 4
+	return v
+}
+
+func (r *stateReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.err = fmt.Errorf("predictor: truncated state at byte %d", r.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *stateReader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.data) {
+		r.err = fmt.Errorf("predictor: truncated state at byte %d", r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *stateReader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.data) {
+		return fmt.Errorf("predictor: %d trailing state bytes", len(r.data)-r.pos)
+	}
+	return nil
+}
+
+// SaveState snapshots the perceptron's weights and global history.
+func (p *Perceptron) SaveState() ([]byte, error) {
+	b := make([]byte, 0, 8+len(p.weights)*(p.histLen+1)*2+p.histLen)
+	b = putU32(b, uint32(len(p.weights)))
+	b = putU32(b, uint32(p.histLen))
+	// Weights are int16: encode each as its 2-byte two's-complement form.
+	for _, w := range p.weights {
+		for _, v := range w {
+			b = append(b, byte(uint16(v)), byte(uint16(v)>>8))
+		}
+	}
+	for _, h := range p.history {
+		b = append(b, byte(h))
+	}
+	return b, nil
+}
+
+// LoadState restores a snapshot taken by SaveState. The perceptron must have
+// the same geometry; the per-prediction memo is invalidated.
+func (p *Perceptron) LoadState(data []byte) error {
+	r := &stateReader{data: data}
+	entries, histLen := r.u32(), r.u32()
+	if r.err == nil && (int(entries) != len(p.weights) || int(histLen) != p.histLen) {
+		return fmt.Errorf("predictor: perceptron state geometry %d×%d does not match %d×%d",
+			entries, histLen, len(p.weights), p.histLen)
+	}
+	raw := r.bytes(int(entries) * (int(histLen) + 1) * 2)
+	hist := r.bytes(int(histLen))
+	if err := r.done(); err != nil {
+		return err
+	}
+	for i, w := range p.weights {
+		row := raw[i*(p.histLen+1)*2:]
+		for j := range w {
+			w[j] = int16(uint16(row[2*j]) | uint16(row[2*j+1])<<8)
+		}
+	}
+	for i := range p.history {
+		p.history[i] = int8(hist[i])
+	}
+	p.lastValid = false
+	return nil
+}
+
+// SaveState snapshots the gshare counters and history register.
+func (g *Gshare) SaveState() ([]byte, error) {
+	b := make([]byte, 0, 12+len(g.table))
+	b = putU32(b, uint32(len(g.table)))
+	b = putU64(b, g.history)
+	b = append(b, g.table...)
+	return b, nil
+}
+
+// LoadState restores a snapshot taken by SaveState into a same-sized gshare.
+func (g *Gshare) LoadState(data []byte) error {
+	r := &stateReader{data: data}
+	entries := r.u32()
+	hist := r.u64()
+	if r.err == nil && int(entries) != len(g.table) {
+		return fmt.Errorf("predictor: gshare state has %d entries, want %d", entries, len(g.table))
+	}
+	tab := r.bytes(int(entries))
+	if err := r.done(); err != nil {
+		return err
+	}
+	copy(g.table, tab)
+	g.history = hist & ((1 << g.bits) - 1)
+	return nil
+}
+
+// SaveState snapshots the bimodal counter table.
+func (b *Bimodal) SaveState() ([]byte, error) {
+	out := make([]byte, 0, 4+len(b.table))
+	out = putU32(out, uint32(len(b.table)))
+	out = append(out, b.table...)
+	return out, nil
+}
+
+// LoadState restores a snapshot taken by SaveState into a same-sized bimodal.
+func (b *Bimodal) LoadState(data []byte) error {
+	r := &stateReader{data: data}
+	entries := r.u32()
+	if r.err == nil && int(entries) != len(b.table) {
+		return fmt.Errorf("predictor: bimodal state has %d entries, want %d", entries, len(b.table))
+	}
+	tab := r.bytes(int(entries))
+	if err := r.done(); err != nil {
+		return err
+	}
+	copy(b.table, tab)
+	return nil
+}
+
+// SaveState returns an empty snapshot: a static predictor has no trained
+// state.
+func (s *Static) SaveState() ([]byte, error) { return nil, nil }
+
+// LoadState accepts only the empty snapshot SaveState produces.
+func (s *Static) LoadState(data []byte) error {
+	if len(data) != 0 {
+		return fmt.Errorf("predictor: static predictor state must be empty, got %d bytes", len(data))
+	}
+	return nil
+}
+
+// SaveState delegates to the wrapped predictor; accuracy counters are not
+// part of the architectural state.
+func (s *Stats) SaveState() ([]byte, error) {
+	inner, ok := s.P.(Stateful)
+	if !ok {
+		return nil, fmt.Errorf("predictor: %s does not support state capture", s.P.Name())
+	}
+	return inner.SaveState()
+}
+
+// LoadState delegates to the wrapped predictor and drops any pending
+// prediction memo.
+func (s *Stats) LoadState(data []byte) error {
+	inner, ok := s.P.(Stateful)
+	if !ok {
+		return fmt.Errorf("predictor: %s does not support state capture", s.P.Name())
+	}
+	if err := inner.LoadState(data); err != nil {
+		return err
+	}
+	s.pending = false
+	return nil
+}
+
+// SaveState snapshots the confidence estimator's counter table.
+func (c *Confidence) SaveState() ([]byte, error) {
+	out := make([]byte, 0, 4+len(c.table))
+	out = putU32(out, uint32(len(c.table)))
+	out = append(out, c.table...)
+	return out, nil
+}
+
+// LoadState restores a snapshot taken by SaveState into a same-sized
+// estimator.
+func (c *Confidence) LoadState(data []byte) error {
+	r := &stateReader{data: data}
+	entries := r.u32()
+	if r.err == nil && int(entries) != len(c.table) {
+		return fmt.Errorf("predictor: confidence state has %d entries, want %d", entries, len(c.table))
+	}
+	tab := r.bytes(int(entries))
+	if err := r.done(); err != nil {
+		return err
+	}
+	copy(c.table, tab)
+	return nil
+}

@@ -1,0 +1,283 @@
+package sample
+
+import (
+	"fmt"
+	"math"
+
+	"dkip/internal/ckpt"
+	"dkip/internal/mem"
+	"dkip/internal/pipeline"
+	"dkip/internal/trace"
+)
+
+// Engine is the processor surface the sampling driver needs. Both
+// core.Processor (D-KIP) and ooo.Processor (R10K/KILO) implement it.
+type Engine interface {
+	// Hierarchy exposes the cache hierarchy for initial range warming.
+	Hierarchy() *mem.Hierarchy
+	// Run simulates in detail: warmup instructions to fill the pipeline,
+	// then measure instructions with statistics.
+	Run(g trace.Generator, warmup, measure uint64) *pipeline.Stats
+	// WarmFunctional fast-forwards architectural state by n instructions.
+	WarmFunctional(g trace.Generator, n uint64)
+	// CaptureArch snapshots architectural state at stream position pos.
+	CaptureArch(bench string, pos uint64) (*ckpt.Checkpoint, error)
+	// RestoreArch loads a snapshot; the generator cursor is the caller's.
+	RestoreArch(c *ckpt.Checkpoint) error
+}
+
+// Config drives one sampled run.
+type Config struct {
+	// Bench names the workload, stamped into captured checkpoints.
+	Bench string
+	// NewEngine builds a fresh processor; called once for the functional
+	// cursor and once per detailed interval.
+	NewEngine func() Engine
+	// NewGen builds a fresh generator positioned at stream start.
+	NewGen func() trace.Generator
+	// WarmRanges is the workload's footprint, walked through the cursor's
+	// caches before functional warming — the same pre-warm a full run gets.
+	WarmRanges [][2]uint64
+	// Warmup and Measure mirror the full run's phases: the first interval
+	// starts at position Warmup, and the Intervals tile [Warmup,
+	// Warmup+Measure).
+	Warmup  uint64
+	Measure uint64
+	// Plan is the sampling layout. Callers that know the machine's window
+	// geometry should pass a completed plan (Plan.Complete); Run completes
+	// any remaining zero fields with an unknown window.
+	Plan Plan
+	// Load fetches a previously stored checkpoint for a stream position,
+	// or nil. Optional.
+	Load func(pos uint64) *ckpt.Checkpoint
+	// Store persists a freshly captured checkpoint. Optional.
+	Store func(c *ckpt.Checkpoint)
+}
+
+// IO counts checkpoint-store traffic for one sampled run. It feeds runner
+// metrics, not results: whether state was recomputed or reloaded must not
+// change what the run produces.
+type IO struct {
+	Hits   uint64
+	Misses uint64
+	Writes uint64
+}
+
+// Summary reports how a sampled run was laid out and the statistical
+// quality of its CPI estimate. It is part of the run's Result, so it holds
+// only values that are a pure function of the spec — never of checkpoint
+// availability or timing.
+type Summary struct {
+	// Intervals, Interval, Warmup echo the normalized plan.
+	Intervals int    `json:"intervals"`
+	Interval  uint64 `json:"interval"`
+	Warmup    uint64 `json:"warmup"`
+	// DetailedInstrs counts pipeline-simulated instructions (warmup +
+	// measured, all intervals); FullInstrs what an unsampled run would
+	// have simulated in detail.
+	DetailedInstrs uint64 `json:"detailed_instrs"`
+	FullInstrs     uint64 `json:"full_instrs"`
+	// CPI is the sampled estimate: total measured cycles over total
+	// measured instructions, which with equal-length intervals equals the
+	// mean of per-interval CPIs.
+	CPI float64 `json:"cpi"`
+	// CPIStdDev is the sample standard deviation of per-interval CPIs;
+	// CPICI95 the half-width of the 95% confidence interval on the mean
+	// (Student's t with Intervals-1 degrees of freedom).
+	CPIStdDev float64 `json:"cpi_stddev"`
+	CPICI95   float64 `json:"cpi_ci95"`
+}
+
+// Reduction returns FullInstrs/DetailedInstrs, the factor by which sampling
+// shrank the detailed-simulation work.
+func (s *Summary) Reduction() float64 {
+	if s.DetailedInstrs == 0 {
+		return 0
+	}
+	return float64(s.FullInstrs) / float64(s.DetailedInstrs)
+}
+
+// Run executes a sampled simulation: a functional cursor sweeps the stream
+// warming caches and predictors, architectural checkpoints are captured (or
+// reloaded) at each interval start, and a fresh engine measures each
+// interval in detail from the checkpointed state. The aggregate Stats sum
+// the measured intervals, so downstream consumers (tables, CSV, JSON) read
+// them exactly like full-run stats.
+func Run(c Config) (*pipeline.Stats, *Summary, IO, error) {
+	var io IO
+	plan := c.Plan.Complete(c.Warmup, c.Measure, 0)
+	if err := plan.Validate(c.Measure); err != nil {
+		return nil, nil, io, err
+	}
+	k := uint64(plan.Intervals)
+	stride := c.Measure / k
+
+	// The functional cursor is built lazily: a resumed run that finds every
+	// checkpoint in the store never pays for fast-forwarding at all. On a
+	// miss the cursor continues from the most recent known state — its own,
+	// or the last loaded checkpoint.
+	var (
+		cursor    Engine
+		cursorGen trace.Generator
+		cursorPos uint64
+		lastCk    *ckpt.Checkpoint
+	)
+	seat := func(pos uint64) error {
+		if cursor == nil {
+			cursor = c.NewEngine()
+			cursorGen = c.NewGen()
+			if lastCk != nil && lastCk.Pos <= pos {
+				if err := cursor.RestoreArch(lastCk); err != nil {
+					return err
+				}
+				skip(cursorGen, lastCk.Pos)
+				cursorPos = lastCk.Pos
+			} else {
+				cursor.Hierarchy().Warm(c.WarmRanges)
+			}
+		}
+		if cursorPos > pos {
+			return fmt.Errorf("sample: cursor at %d past interval start %d", cursorPos, pos)
+		}
+		cursor.WarmFunctional(cursorGen, pos-cursorPos)
+		cursorPos = pos
+		return nil
+	}
+
+	agg := &pipeline.Stats{}
+	cpis := make([]float64, 0, plan.Intervals)
+	for i := uint64(0); i < k; i++ {
+		pos := c.Warmup + i*stride
+		var ck *ckpt.Checkpoint
+		if c.Load != nil {
+			ck = c.Load(pos)
+		}
+		if ck != nil {
+			io.Hits++
+			// Remember it so a later miss warms forward from here rather
+			// than from stream start.
+			if lastCk == nil || ck.Pos > lastCk.Pos {
+				lastCk = ck
+			}
+			if cursor != nil && cursorPos <= ck.Pos {
+				// The cursor fell behind a stored checkpoint; drop it and
+				// reseat lazily if another miss comes.
+				cursor = nil
+			}
+		} else {
+			io.Misses++
+			if err := seat(pos); err != nil {
+				return nil, nil, io, err
+			}
+			var err error
+			if ck, err = cursor.CaptureArch(c.Bench, pos); err != nil {
+				return nil, nil, io, err
+			}
+			lastCk = ck
+			if c.Store != nil {
+				c.Store(ck)
+				io.Writes++
+			}
+		}
+
+		eng := c.NewEngine()
+		if err := eng.RestoreArch(ck); err != nil {
+			return nil, nil, io, err
+		}
+		g := c.NewGen()
+		skip(g, pos)
+		st := eng.Run(g, plan.Warmup, plan.Interval)
+		accumulate(agg, st)
+		cpis = append(cpis, float64(st.Cycles)/float64(st.Committed))
+	}
+
+	mean, sd := meanStdDev(cpis)
+	sum := &Summary{
+		Intervals:      plan.Intervals,
+		Interval:       plan.Interval,
+		Warmup:         plan.Warmup,
+		DetailedInstrs: k * (plan.Warmup + plan.Interval),
+		FullInstrs:     c.Warmup + c.Measure,
+		CPI:            mean,
+		CPIStdDev:      sd,
+		CPICI95:        tCritical95(plan.Intervals-1) * sd / math.Sqrt(float64(plan.Intervals)),
+	}
+	return agg, sum, io, nil
+}
+
+// skip advances g by n instructions. Generators are deterministic and cheap,
+// so positioning is replay, not seeking.
+func skip(g trace.Generator, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		g.Next()
+	}
+}
+
+// accumulate folds one interval's stats into the aggregate: counters add,
+// high-water marks take the max.
+func accumulate(agg, st *pipeline.Stats) {
+	agg.Cycles += st.Cycles
+	agg.Committed += st.Committed
+	agg.Fetched += st.Fetched
+	agg.Branches += st.Branches
+	agg.Mispredicts += st.Mispredicts
+	for i := range agg.LoadLevel {
+		agg.LoadLevel[i] += st.LoadLevel[i]
+	}
+	agg.StallROBFull += st.StallROBFull
+	agg.StallIQFull += st.StallIQFull
+	agg.StallLSQFull += st.StallLSQFull
+	for i := range agg.IssueLat.Buckets {
+		agg.IssueLat.Buckets[i] += st.IssueLat.Buckets[i]
+	}
+	agg.IssueLat.Total += st.IssueLat.Total
+	agg.IssueLat.SumCycles += st.IssueLat.SumCycles
+	agg.CPCommitted += st.CPCommitted
+	agg.MPCommitted += st.MPCommitted
+	for i := range agg.MaxLLIBInstrs {
+		if st.MaxLLIBInstrs[i] > agg.MaxLLIBInstrs[i] {
+			agg.MaxLLIBInstrs[i] = st.MaxLLIBInstrs[i]
+		}
+		if st.MaxLLIBRegs[i] > agg.MaxLLIBRegs[i] {
+			agg.MaxLLIBRegs[i] = st.MaxLLIBRegs[i]
+		}
+	}
+	agg.LLIBFullStalls += st.LLIBFullStalls
+	agg.AnalyzeWaitStalls += st.AnalyzeWaitStalls
+	agg.Checkpoints += st.Checkpoints
+	agg.Recoveries += st.Recoveries
+	agg.LLRFBankConflicts += st.LLRFBankConflicts
+}
+
+func meanStdDev(xs []float64) (mean, sd float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// tCritical95 returns the two-sided 95% critical value of Student's t
+// distribution for the given degrees of freedom (normal beyond 30).
+func tCritical95(df int) float64 {
+	table := [...]float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+		2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+	}
+	if df < 1 {
+		return math.NaN()
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}

@@ -28,6 +28,7 @@ import (
 
 	"dkip/internal/core"
 	"dkip/internal/ooo"
+	"dkip/internal/sample"
 	"dkip/internal/sim"
 )
 
@@ -45,6 +46,9 @@ type Spec struct {
 	Tag     string       `json:"tag,omitempty"`
 	OOO     *ooo.Config  `json:"ooo,omitempty"`
 	DKIP    *core.Config `json:"dkip,omitempty"`
+	// Sample carries the sampling plan when the run is sampled; absent for
+	// full runs, so pre-sampling clients and daemons interoperate.
+	Sample *sample.Plan `json:"sample,omitempty"`
 }
 
 // EncodeSpec converts a sim.RunSpec to its wire form. Specs carrying opaque
@@ -55,6 +59,10 @@ func EncodeSpec(s sim.RunSpec) (Spec, error) {
 		return Spec{}, fmt.Errorf("serve: spec %s carries opaque function fields and cannot run remotely", s.Label())
 	}
 	w := Spec{Arch: s.Arch.String(), Bench: s.Bench, Warmup: s.Warmup, Measure: s.Measure, Tag: s.Tag}
+	if s.Sample.Enabled() {
+		p := s.Sample
+		w.Sample = &p
+	}
 	switch s.Arch {
 	case sim.ArchOOO:
 		cfg := s.OOO
@@ -74,6 +82,9 @@ func EncodeSpec(s sim.RunSpec) (Spec, error) {
 // to every submission.
 func (w Spec) RunSpec() (sim.RunSpec, error) {
 	s := sim.RunSpec{Bench: w.Bench, Warmup: w.Warmup, Measure: w.Measure, Tag: w.Tag}
+	if w.Sample != nil {
+		s.Sample = *w.Sample
+	}
 	switch w.Arch {
 	case sim.ArchOOO.String():
 		s.Arch = sim.ArchOOO

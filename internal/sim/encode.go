@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dkip/internal/pipeline"
+	"dkip/internal/sample"
 )
 
 // Result is the structured record of one simulation run.
@@ -32,17 +33,26 @@ type Result struct {
 	Skipped bool `json:"skipped,omitempty"`
 	// Elapsed is the wall time of the underlying simulation.
 	Elapsed time.Duration `json:"elapsed_ns"`
-	// Stats is the full simulator outcome.
+	// Stats is the full simulator outcome. For sampled runs it aggregates
+	// the detailed measurement intervals (counters summed, high-water
+	// marks maxed).
 	Stats *pipeline.Stats `json:"stats"`
+	// Sampled describes the sampling layout and the CPI confidence
+	// interval for runs executed under a sampling plan; nil for full runs.
+	Sampled *sample.Summary `json:"sampled,omitempty"`
 }
 
-// clone returns a deep copy (Stats has no reference fields, so a value copy
-// suffices) with Cached set as given.
+// clone returns a deep copy (Stats and Summary have no reference fields, so
+// value copies suffice) with Cached set as given.
 func (r *Result) clone(cached bool) *Result {
 	out := *r
 	if r.Stats != nil {
 		st := *r.Stats
 		out.Stats = &st
+	}
+	if r.Sampled != nil {
+		sm := *r.Sampled
+		out.Sampled = &sm
 	}
 	out.Cached = cached
 	return &out

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"dkip/internal/pipeline"
+	"dkip/internal/sample"
 	"dkip/internal/workload"
 )
 
@@ -37,6 +38,14 @@ type Metrics struct {
 	// Uncacheable counts simulations of specs the cache could not hold
 	// (opaque configs without a Tag).
 	Uncacheable uint64 `json:"uncacheable"`
+	// CheckpointHits / CheckpointMisses / CheckpointWrites count
+	// architectural-checkpoint store traffic from sampled runs: intervals
+	// that reloaded a stored checkpoint, intervals that functionally warmed
+	// from scratch, and checkpoints persisted. They sit outside the
+	// Requested identity (they count intervals, not Run calls).
+	CheckpointHits   uint64 `json:"checkpoint_hits"`
+	CheckpointMisses uint64 `json:"checkpoint_misses"`
+	CheckpointWrites uint64 `json:"checkpoint_writes"`
 }
 
 // Plus returns the field-wise sum of two snapshots — how a multi-daemon
@@ -52,6 +61,9 @@ func (m Metrics) Plus(o Metrics) Metrics {
 	m.DiskWrites += o.DiskWrites
 	m.Skipped += o.Skipped
 	m.Uncacheable += o.Uncacheable
+	m.CheckpointHits += o.CheckpointHits
+	m.CheckpointMisses += o.CheckpointMisses
+	m.CheckpointWrites += o.CheckpointWrites
 	return m
 }
 
@@ -285,7 +297,30 @@ func (r *Runner) simulate(spec RunSpec) (*Result, error) {
 		key = spec.Key()
 	}
 	start := time.Now()
-	st := Simulate(spec, g, g.WarmRanges())
+	var st *pipeline.Stats
+	var sum *sample.Summary
+	if spec.Sample.Enabled() {
+		// Sampled runs reuse the Store as a checkpoint tier (NoMemo runners
+		// bypass it, same as the result tiers). What the store held changes
+		// only the metrics, never the result.
+		var ckStore *Store
+		if r.memo {
+			ckStore = r.store
+		}
+		var io sample.IO
+		var err error
+		st, sum, io, err = SimulateSampled(spec, ckStore)
+		if err != nil {
+			return nil, err
+		}
+		r.mu.Lock()
+		r.m.CheckpointHits += io.Hits
+		r.m.CheckpointMisses += io.Misses
+		r.m.CheckpointWrites += io.Writes
+		r.mu.Unlock()
+	} else {
+		st = Simulate(spec, g, g.WarmRanges())
+	}
 	res := &Result{
 		Key:     key,
 		Arch:    spec.Arch.String(),
@@ -295,6 +330,7 @@ func (r *Runner) simulate(spec RunSpec) (*Result, error) {
 		Measure: spec.Measure,
 		Elapsed: time.Since(start),
 		Stats:   st,
+		Sampled: sum,
 	}
 	r.mu.Lock()
 	r.m.Simulated++

@@ -23,9 +23,11 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"dkip/internal/ckpt"
 	"dkip/internal/core"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
+	"dkip/internal/sample"
 	"dkip/internal/trace"
 	"dkip/internal/workload"
 )
@@ -73,6 +75,13 @@ type RunSpec struct {
 	// (e.g. a custom NewPredictor), which the content hash cannot see:
 	// distinct predictors must carry distinct tags.
 	Tag string
+	// Sample, when enabled, replaces the full detailed run with sampled
+	// simulation (internal/sample): functional warming punctuated by
+	// detailed measurement intervals, resumable through architectural
+	// checkpoints stored next to results. The zero value means a full run,
+	// and a disabled plan contributes nothing to Key, so pre-sampling specs
+	// keep their content hashes (and warm stores stay warm).
+	Sample sample.Plan
 }
 
 // OOOSpec builds a RunSpec for the out-of-order engine.
@@ -119,11 +128,62 @@ func (s RunSpec) Key() string {
 	n := s.normalized()
 	h := sha256.New()
 	fmt.Fprintf(h, "arch=%s;bench=%s;warmup=%d;measure=%d;tag=%s;", s.Arch, s.Bench, s.Warmup, s.Measure, s.Tag)
+	// The sampling plan is part of the machine description only when it is
+	// in force, and always in completed form: a defaulted plan and its
+	// explicit spelling are the same run, and full-run specs hash exactly
+	// as they did before sampling existed.
+	if p := s.SamplePlan(); p.Enabled() {
+		fmt.Fprintf(h, "sample=%d/%d/%d;", p.Intervals, p.Interval, p.Warmup)
+	}
 	if s.Arch == ArchDKIP {
 		hashConfig(h, n.DKIP)
 	} else {
 		hashConfig(h, n.OOO)
 	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// SamplePlan returns the spec's sampling plan with machine-aware defaults
+// resolved: the per-interval detailed warmup scales with the machine's
+// in-flight instruction capacity (ROB plus slow-lane queue for the
+// out-of-order family, the LLIB for the D-KIP) so that large-window
+// machines are never measured mid-fill, and the interval length targets a
+// 10× detailed-instruction reduction at the spec's scale. Key, Validate and
+// SimulateSampled all go through this completion, so the hash always
+// describes the plan that actually runs.
+func (s RunSpec) SamplePlan() sample.Plan {
+	if !s.Sample.Enabled() {
+		return sample.Plan{}
+	}
+	n := s.normalized()
+	window := uint64(n.OOO.ROBSize + n.OOO.SLIQSize)
+	if s.Arch == ArchDKIP {
+		window = uint64(n.DKIP.LLIBSize)
+		if r := uint64(n.DKIP.ROBSize); r > window {
+			window = r
+		}
+	}
+	return s.Sample.Complete(s.Warmup, s.Measure, window)
+}
+
+// checkpointKey returns the content key of the architectural checkpoint at
+// stream position pos for this spec. The key hashes only what the
+// checkpointed state is a function of — engine family (the D-KIP carries a
+// confidence estimator the out-of-order cores lack), workload, memory
+// configuration, predictor, tag, and position — never window or queue
+// geometry, so every sweep point over e.g. window sizes shares one
+// checkpoint set.
+func (s RunSpec) checkpointKey(pos uint64) string {
+	n := s.normalized()
+	h := sha256.New()
+	family, predName := "ooo", n.OOO.NewPredictor
+	var memCfg interface{} = n.OOO.Mem
+	if s.Arch == ArchDKIP {
+		family, predName = "core", n.DKIP.NewPredictor
+		memCfg = n.DKIP.Mem
+	}
+	fmt.Fprintf(h, "ckpt;family=%s;bench=%s;tag=%s;pred=%s;pos=%d;", family, s.Bench, s.Tag, predName().Name(), pos)
+	hashConfig(h, memCfg)
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -156,6 +216,9 @@ func (s RunSpec) Validate() error {
 	if s.Measure == 0 {
 		return fmt.Errorf("sim: spec for %q measures zero instructions", s.Bench)
 	}
+	if err := s.SamplePlan().Validate(s.Measure); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	n := s.normalized()
 	var err error
 	if s.Arch == ArchDKIP {
@@ -178,7 +241,9 @@ func (s RunSpec) Label() string {
 // warming the hierarchy with warm first (pass nil to skip). It is the
 // low-level, uncached entry point: the Runner uses it with the spec's named
 // workload, and cmd/dkipsim uses it directly for trace-driven runs whose
-// source is not a registered benchmark.
+// source is not a registered benchmark. The spec's sampling plan is ignored
+// here — sampled runs need a restartable stream and go through
+// SimulateSampled.
 func Simulate(s RunSpec, g trace.Generator, warm [][2]uint64) *pipeline.Stats {
 	if s.Arch == ArchDKIP {
 		p := core.New(s.DKIP)
@@ -192,4 +257,66 @@ func Simulate(s RunSpec, g trace.Generator, warm [][2]uint64) *pipeline.Stats {
 		p.Hierarchy().Warm(warm)
 	}
 	return p.Run(g, s.Warmup, s.Measure)
+}
+
+// ckptKind is the Store blob namespace architectural checkpoints live under.
+const ckptKind = "checkpoints"
+
+// SimulateSampled executes the spec under its sampling plan: functional
+// warming to each interval start, a detailed measurement per interval, CPI
+// confidence interval over the intervals. When store is non-nil and the spec
+// is memoizable, checkpoints captured at interval starts are persisted under
+// content keys (checkpointKey) and reloaded on later runs — including runs
+// of different machines that share the memory/predictor configuration, and
+// resumed runs of a killed sweep. The returned stats and summary are a pure
+// function of the spec; only the IO counters depend on what the store held.
+func SimulateSampled(s RunSpec, store *Store) (*pipeline.Stats, *sample.Summary, sample.IO, error) {
+	g, err := workload.New(s.Bench)
+	if err != nil {
+		return nil, nil, sample.IO{}, err
+	}
+	newGen := func() trace.Generator {
+		gen, err := workload.New(s.Bench)
+		if err != nil {
+			// The lookup above succeeded; the registry is immutable.
+			panic(err)
+		}
+		return gen
+	}
+	newEngine := func() sample.Engine {
+		if s.Arch == ArchDKIP {
+			return core.New(s.DKIP)
+		}
+		return ooo.New(s.OOO)
+	}
+	cfg := sample.Config{
+		Bench:      s.Bench,
+		NewEngine:  newEngine,
+		NewGen:     newGen,
+		WarmRanges: g.WarmRanges(),
+		Warmup:     s.Warmup,
+		Measure:    s.Measure,
+		Plan:       s.SamplePlan(),
+	}
+	if store != nil && s.Memoizable() {
+		cfg.Load = func(pos uint64) *ckpt.Checkpoint {
+			data, ok := store.GetBlob(ckptKind, s.checkpointKey(pos))
+			if !ok {
+				return nil
+			}
+			c, err := ckpt.Decode(data)
+			// A checkpoint that decodes but does not describe this position
+			// is a key collision or a corrupted store: treat as a miss and
+			// recompute, exactly like result-store corruption.
+			if err != nil || c.Pos != pos || c.Bench != s.Bench {
+				return nil
+			}
+			return c
+		}
+		cfg.Store = func(c *ckpt.Checkpoint) {
+			// A failed write is a cache non-event, same as Result writes.
+			_ = store.PutBlob(ckptKind, s.checkpointKey(c.Pos), ckpt.Encode(c))
+		}
+	}
+	return sample.Run(cfg)
 }

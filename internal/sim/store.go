@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // storeVersion stamps every on-disk entry. Entries written under a different
@@ -40,13 +41,39 @@ type Store struct {
 	dir string
 }
 
+// storeTempMaxAge is how old a .tmp-* file must be before OpenStore sweeps
+// it. Atomic writes hold their temp file for milliseconds; an hour-old one
+// belongs to a writer that was killed between CreateTemp and Rename, and
+// nothing else will ever remove it.
+const storeTempMaxAge = time.Hour
+
 // OpenStore opens the store rooted at dir, creating the directory tree if
-// needed.
+// needed, and sweeps stale temp files orphaned by killed writers.
 func OpenStore(dir string) (*Store, error) {
 	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
 		return nil, fmt.Errorf("sim: open store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepTemp()
+	return s, nil
+}
+
+// sweepTemp removes .tmp-* files older than storeTempMaxAge anywhere under
+// the store root. Put (and PutBlob) only unlink their temp file on error
+// paths — a writer killed mid-Put leaves its orphan forever otherwise. The
+// age gate keeps concurrent writers' live temp files safe; sweep errors are
+// ignored (the worst case is the orphan surviving until the next open).
+func (s *Store) sweepTemp() {
+	cutoff := time.Now().Add(-storeTempMaxAge)
+	_ = filepath.WalkDir(s.dir, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasPrefix(d.Name(), ".tmp-") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil && info.ModTime().Before(cutoff) {
+			_ = os.Remove(p)
+		}
+		return nil
+	})
 }
 
 // Dir returns the store's root directory.
@@ -66,7 +93,16 @@ func (s *Store) Get(key string) (*Result, bool) {
 	if len(key) < 2 {
 		return nil, false
 	}
-	data, err := os.ReadFile(s.path(key))
+	return decodeEntryFile(s.path(key), key)
+}
+
+// decodeEntryFile reads and validates one entry file, expecting it to hold
+// the given content key. Shared by Get (which derives the path from the key)
+// and Walk (which has the path in hand and derives the key from the file
+// name — never the directory, so an entry filed under the wrong fan-out
+// directory is still served rather than silently dropped).
+func decodeEntryFile(path, key string) (*Result, bool) {
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
@@ -119,11 +155,15 @@ func (s *Store) Put(res *Result) error {
 }
 
 // Walk streams every valid entry to fn, one at a time, in ascending key
-// order (entry files are named by key, and WalkDir traverses lexically), so
-// arbitrarily large manifests can be processed in constant memory — the
-// serve layer's NDJSON endpoint encodes straight off it. A non-nil error
-// from fn aborts the walk and is returned. Entries that fail the Get checks
-// (corrupt, stale version) are silently skipped.
+// order for correctly filed entries (entry files are named by key, and
+// WalkDir traverses lexically), so arbitrarily large manifests can be
+// processed in constant memory — the serve layer's NDJSON endpoint encodes
+// straight off it. Each walked file is decoded directly rather than
+// re-fetched through Get, so an entry filed under the wrong fan-out
+// directory (e.g. a hand-merged shard dir) is still yielded — possibly out
+// of key order, which List's sort repairs. A non-nil error from fn aborts
+// the walk and is returned. Entries that fail the Get checks (corrupt,
+// stale version, key not matching the file name) are silently skipped.
 func (s *Store) Walk(fn func(*Result) error) error {
 	root := filepath.Join(s.dir, "objects")
 	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
@@ -133,7 +173,7 @@ func (s *Store) Walk(fn func(*Result) error) error {
 		if d.IsDir() || !strings.HasSuffix(d.Name(), ".json") {
 			return nil
 		}
-		if res, ok := s.Get(strings.TrimSuffix(d.Name(), ".json")); ok {
+		if res, ok := decodeEntryFile(p, strings.TrimSuffix(d.Name(), ".json")); ok {
 			return fn(res)
 		}
 		return nil
@@ -155,8 +195,9 @@ func (s *Store) List() ([]*Result, error) {
 	}); err != nil {
 		return nil, err
 	}
-	// Walk already yields key order; keep the sort as schema insurance (a
-	// future layout change must not silently break List's contract).
+	// Walk yields key order for correctly filed entries, but a misplaced
+	// entry (wrong fan-out directory) arrives wherever WalkDir finds it —
+	// this sort is what upholds List's ordering contract.
 	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
 	return out, nil
 }
@@ -183,23 +224,91 @@ type StoreStats struct {
 	// current Get would reject (stale version, corruption) — it is a
 	// capacity signal, not a validity census.
 	Entries int `json:"entries"`
+	// Checkpoints counts architectural-checkpoint blobs stored for sampled
+	// runs.
+	Checkpoints int `json:"checkpoints"`
 }
 
 // Stats counts the store's entry files without decoding them.
 func (s *Store) Stats() (StoreStats, error) {
 	st := StoreStats{Dir: s.dir}
-	root := filepath.Join(s.dir, "objects")
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() && strings.HasSuffix(d.Name(), ".json") {
-			st.Entries++
-		}
-		return nil
-	})
-	if err != nil {
+	count := func(root, suffix string) (int, error) {
+		n := 0
+		err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) {
+					return filepath.SkipAll
+				}
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(d.Name(), suffix) {
+				n++
+			}
+			return nil
+		})
+		return n, err
+	}
+	var err error
+	if st.Entries, err = count(filepath.Join(s.dir, "objects"), ".json"); err != nil {
+		return st, fmt.Errorf("sim: store stats: %w", err)
+	}
+	if st.Checkpoints, err = count(filepath.Join(s.dir, ckptKind), ".bin"); err != nil {
 		return st, fmt.Errorf("sim: store stats: %w", err)
 	}
 	return st, nil
+}
+
+// blobPath maps a (kind, key) pair to its blob file, with the same two-char
+// fan-out as result entries:
+//
+//	<dir>/<kind>/<key[:2]>/<key>.bin
+func (s *Store) blobPath(kind, key string) string {
+	return filepath.Join(s.dir, kind, key[:2], key+".bin")
+}
+
+// GetBlob returns the stored bytes for a content-keyed binary blob (e.g. an
+// architectural checkpoint). Like Get, anything unservable — missing,
+// unreadable — reads as a miss; the blob's internal integrity is the
+// caller's codec's business.
+func (s *Store) GetBlob(kind, key string) ([]byte, bool) {
+	if len(key) < 2 || kind == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.blobPath(kind, key))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// PutBlob persists a binary blob under its content key, atomically (temp
+// file + rename, like Put). Blobs are immutable by construction — a key is
+// a hash of what produced the bytes — so concurrent writers racing on one
+// key publish identical content and either rename wins.
+func (s *Store) PutBlob(kind, key string, data []byte) error {
+	if len(key) < 2 || kind == "" {
+		return fmt.Errorf("sim: store put blob: bad kind/key %q/%q", kind, key)
+	}
+	path := s.blobPath(kind, key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("sim: store put blob: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("sim: store put blob: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put blob: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put blob: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sim: store put blob: %w", err)
+	}
+	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"dkip/internal/core"
 	"dkip/internal/ooo"
@@ -291,5 +292,133 @@ func TestNoMemoBypassesStore(t *testing.T) {
 	}
 	if keys, _ := st.Keys(); len(keys) != 0 {
 		t.Errorf("NoMemo runner wrote %d entries to the store", len(keys))
+	}
+}
+
+// TestStoreSweepsStaleTempFiles plants orphaned atomic-write temp files of
+// both ages: OpenStore must remove the stale one (a writer killed between
+// CreateTemp and Rename an hour ago) and leave the fresh one (a concurrent
+// writer mid-Put) untouched.
+func TestStoreSweepsStaleTempFiles(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(fakeResult(strings.Repeat("ab", 16))); err != nil {
+		t.Fatal(err)
+	}
+	entryDir := filepath.Join(dir, "objects", "ab")
+	stale := filepath.Join(entryDir, ".tmp-stale")
+	fresh := filepath.Join(entryDir, ".tmp-fresh")
+	staleBlob := filepath.Join(dir, "checkpoints", "cd", ".tmp-blob")
+	if err := os.MkdirAll(filepath.Dir(staleBlob), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{stale, fresh, staleBlob} {
+		if err := os.WriteFile(p, []byte("partial"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := time.Now().Add(-2 * storeTempMaxAge)
+	for _, p := range []string{stale, staleBlob} {
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{stale, staleBlob} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("stale temp file %s survived the sweep (err=%v)", p, err)
+		}
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Errorf("fresh temp file was swept: %v", err)
+	}
+	// The real entry is untouched.
+	if _, ok := s.Get(strings.Repeat("ab", 16)); !ok {
+		t.Error("sweep damaged a live entry")
+	}
+}
+
+// TestStoreWalkServesMisplacedEntries files a valid entry under the wrong
+// fan-out directory — what a hand-merged shard directory can produce — and
+// checks Walk/List still yield it, while Get (which derives the path from
+// the key) correctly misses.
+func TestStoreWalkServesMisplacedEntries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("cd", 16)
+	res := fakeResult(key)
+	data, err := json.Marshal(storeEntry{Version: storeVersion, Key: key, Result: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File it under objects/ff/ instead of objects/cd/.
+	wrong := filepath.Join(dir, "objects", "ff")
+	if err := os.MkdirAll(wrong, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(wrong, key+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var seen []string
+	if err := s.Walk(func(r *Result) error {
+		seen = append(seen, r.Key)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != key {
+		t.Errorf("walk yielded %v, want the misplaced entry %s", seen, key)
+	}
+	list, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].Key != key {
+		t.Errorf("list yielded %d entries, want the misplaced one", len(list))
+	}
+	if _, ok := s.Get(key); ok {
+		t.Error("Get found an entry that is not at its keyed path")
+	}
+}
+
+// TestStoreBlobRoundTrip covers the checkpoint blob tier: miss, write, hit,
+// and rejection of degenerate kinds/keys.
+func TestStoreBlobRoundTrip(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ef", 16)
+	if _, ok := s.GetBlob("checkpoints", key); ok {
+		t.Fatal("empty store served a blob")
+	}
+	want := []byte{0x44, 0x4b, 0x43, 0x50, 1, 2, 3}
+	if err := s.PutBlob("checkpoints", key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetBlob("checkpoints", key)
+	if !ok || string(got) != string(want) {
+		t.Fatalf("blob round trip: got %v ok=%v", got, ok)
+	}
+	if err := s.PutBlob("", key, want); err == nil {
+		t.Error("PutBlob accepted an empty kind")
+	}
+	if err := s.PutBlob("checkpoints", "x", want); err == nil {
+		t.Error("PutBlob accepted a degenerate key")
+	}
+	st, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 1 {
+		t.Errorf("Stats.Checkpoints = %d, want 1", st.Checkpoints)
 	}
 }

@@ -22,12 +22,27 @@ const (
 	traceMagic   = "DKTR"
 	traceVersion = 1
 	recordBytes  = 21
+
+	// maxTraceName bounds the embedded generator name; maxTraceInstrs the
+	// instruction count (256M records ≈ 5.4GB decoded). Write enforces both
+	// so that every trace it emits is one Read accepts — the limits are
+	// format constants, not reader paranoia.
+	maxTraceName   = 4096
+	maxTraceInstrs = 1 << 28
 )
 
-// Write serializes n instructions from g to w.
+// Write serializes n instructions from g to w. It refuses parameters the
+// format cannot round-trip: a zero or implausibly large count, or a
+// generator name longer than the header field allows.
 func Write(w io.Writer, g Generator, n uint64) error {
-	bw := bufio.NewWriter(w)
 	name := g.Name()
+	if n == 0 || n > maxTraceInstrs {
+		return fmt.Errorf("trace: instruction count %d outside the format's 1..%d", n, uint64(maxTraceInstrs))
+	}
+	if len(name) > maxTraceName {
+		return fmt.Errorf("trace: generator name %d bytes exceeds the format's %d", len(name), maxTraceName)
+	}
+	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
 		return fmt.Errorf("trace: writing magic: %w", err)
 	}
@@ -85,20 +100,22 @@ func Read(r io.Reader) (*Replay, error) {
 	}
 	count := binary.LittleEndian.Uint64(hdr[4:])
 	nameLen := binary.LittleEndian.Uint32(hdr[12:])
-	if nameLen > 4096 {
+	if nameLen > maxTraceName {
 		return nil, fmt.Errorf("trace: implausible name length %d", nameLen)
 	}
 	name := make([]byte, nameLen)
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("trace: reading name: %w", err)
 	}
-	const maxTrace = 1 << 28 // 256M instructions ≈ 5.4GB: refuse beyond
-	if count == 0 || count > maxTrace {
+	if count == 0 || count > maxTraceInstrs {
 		return nil, fmt.Errorf("trace: implausible instruction count %d", count)
 	}
-	instrs := make([]isa.Instr, count)
+	// The count came off the wire: grow the slice as records actually
+	// arrive, so a 24-byte header claiming 256M instructions costs a read
+	// error, not a multi-gigabyte allocation.
+	instrs := make([]isa.Instr, 0, min(count, 1<<16))
 	var rec [recordBytes]byte
-	for i := range instrs {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", i, err)
 		}
@@ -115,7 +132,7 @@ func Read(r io.Reader) (*Replay, error) {
 		}
 		in.Taken = rec[20]&1 != 0
 		in.ChainLoad = rec[20]&2 != 0
-		instrs[i] = in
+		instrs = append(instrs, in)
 	}
 	return NewReplay(string(name), instrs), nil
 }

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
+	"strings"
 	"testing"
 
 	"dkip/internal/isa"
@@ -112,5 +114,59 @@ func TestTee(t *testing.T) {
 	tee.Reset()
 	if len(tee.Recorded()) != 0 {
 		t.Error("reset did not clear recording")
+	}
+}
+
+// TestWriteRejectsUnreadable pins the write/read symmetry: every parameter
+// combination Write accepts must produce a trace Read accepts, so the
+// format limits are enforced on both sides.
+func TestWriteRejectsUnreadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, NewReplay("p", prog()), 0); err == nil {
+		t.Error("zero-instruction trace written (Read refuses count 0)")
+	}
+	if err := Write(&buf, NewReplay("p", prog()), maxTraceInstrs+1); err == nil {
+		t.Error("oversized trace accepted (Read refuses it)")
+	}
+	long := strings.Repeat("n", maxTraceName+1)
+	if err := Write(&buf, NewReplay(long, prog()), 1); err == nil {
+		t.Error("overlong name written (Read refuses it)")
+	}
+}
+
+// TestWriteReadBoundaries round-trips the exact format limits: one
+// instruction, and a name of exactly maxTraceName bytes.
+func TestWriteReadBoundaries(t *testing.T) {
+	name := strings.Repeat("n", maxTraceName)
+	var buf bytes.Buffer
+	if err := Write(&buf, NewReplay(name, prog()), 1); err != nil {
+		t.Fatalf("boundary write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("boundary read: %v", err)
+	}
+	if got.Name() != name {
+		t.Errorf("name length %d survived as %d", maxTraceName, len(got.Name()))
+	}
+	if len(got.Instrs) != 1 {
+		t.Errorf("restored %d instructions, want 1", len(got.Instrs))
+	}
+}
+
+// TestReadHostileCount hands Read a well-formed header whose count claims
+// the format maximum with no records behind it: it must fail on the missing
+// record, not allocate gigabytes up front.
+func TestReadHostileCount(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(traceMagic)
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:], traceVersion)
+	binary.LittleEndian.PutUint64(hdr[4:], maxTraceInstrs)
+	binary.LittleEndian.PutUint32(hdr[12:], 1)
+	buf.Write(hdr[:])
+	buf.WriteByte('p')
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("header-only trace claiming 256M records accepted")
 	}
 }

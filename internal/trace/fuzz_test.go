@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceRead drives Read over arbitrary byte streams. Invariants:
+// it never panics, never claims success on an empty program, and any trace
+// it does accept round-trips bit-exactly through Write — the decoder and
+// encoder agree on what the format means.
+func FuzzTraceRead(f *testing.F) {
+	// Seed with a small valid trace and targeted mutations of it: a
+	// truncation inside the records, a corrupt version, and a count header
+	// claiming records that are not there.
+	var valid bytes.Buffer
+	if err := Write(&valid, NewReplay("seed", prog()), 5); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-7])
+	f.Add(valid.Bytes()[:25])
+	hostile := append([]byte{}, valid.Bytes()...)
+	hostile[8] = 0xff // count LSBs: claims ~4G records
+	f.Add(hostile)
+	f.Add([]byte("DKTR"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(r.Instrs) == 0 {
+			t.Fatal("Read accepted a trace with zero instructions")
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, r, uint64(len(r.Instrs))); err != nil {
+			t.Fatalf("accepted trace does not re-encode: %v", err)
+		}
+		r2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded trace does not decode: %v", err)
+		}
+		if r2.Name() != r.Name() || len(r2.Instrs) != len(r.Instrs) {
+			t.Fatalf("round trip changed identity: %q/%d -> %q/%d",
+				r.Name(), len(r.Instrs), r2.Name(), len(r2.Instrs))
+		}
+		for i := range r.Instrs {
+			if r.Instrs[i] != r2.Instrs[i] {
+				t.Fatalf("round trip changed instruction %d: %v -> %v", i, r.Instrs[i], r2.Instrs[i])
+			}
+		}
+	})
+}
