@@ -12,10 +12,12 @@
 //	dkipd -addr :9000 -parallel 8           # bound the simulation pool
 //	dkipd -cache-dir /var/cache/dkip        # persistent content-addressed store
 //	dkipd -max-requests 128 -wait-timeout 2m
+//	dkipd -cache-dir /shared/dkip -advertise http://a:8321   # join the fleet membership
 //
 // Endpoints (see internal/serve): POST /v1/runs, GET /v1/runs/{key},
-// GET /v1/results, GET /v1/metrics, GET /v1/healthz (constant-work
-// liveness probe; never touches the runner or store).
+// GET /v1/results, GET /v1/metrics, GET /v1/members, GET /v1/progress,
+// GET /metrics (Prometheus text exposition), GET /v1/healthz
+// (constant-work liveness probe; never touches the runner or store).
 //
 // Several daemons form a fleet: cmd/experiments -remote http://a,http://b
 // federates them through serve.Pool — every spec routes to one daemon by
@@ -23,6 +25,11 @@
 // lost mid-sweep has its keys re-routed to the survivors. Daemons of one
 // fleet may share a -cache-dir (writes are atomic and content-addressed),
 // which makes re-routed keys disk hits instead of repeat simulations.
+// With -advertise the daemon additionally registers a heartbeat lease in
+// that shared store and serves the merged live view over GET /v1/members,
+// so clients started with -remote-refresh discover daemons that join or
+// leave mid-sweep without a restart; on SIGTERM the lease is withdrawn
+// before draining.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains:
 // in-flight submissions finish simulating and their write-behind store
@@ -54,6 +61,8 @@ func main() {
 		maxRequests = flag.Int("max-requests", 64, "concurrently handled HTTP requests (independent of -parallel)")
 		waitTimeout = flag.Duration("wait-timeout", time.Minute, "how long GET /v1/runs/{key}?wait=1 may block")
 		drain       = flag.Duration("drain", 10*time.Minute, "shutdown grace period for in-flight simulations")
+		advertise   = flag.String("advertise", "", "base URL peers reach this daemon at (e.g. http://a:8321); joins the fleet membership in -cache-dir and serves GET /v1/members")
+		memberTTL   = flag.Duration("member-ttl", serve.DefaultMemberTTL, "membership lease lifetime; the heartbeat renews every TTL/3")
 	)
 	flag.Parse()
 
@@ -72,15 +81,36 @@ func main() {
 	}
 	runner := sim.NewRunner(opts...)
 
+	sopts := []serve.ServerOption{
+		serve.MaxRequests(*maxRequests),
+		serve.WaitTimeout(*waitTimeout),
+	}
+	// Membership lives in the shared store: every daemon of a fleet writes
+	// its heartbeat lease there, so any member can serve the merged view.
+	var registry *serve.Registry
+	if *advertise != "" {
+		if store == nil {
+			logger.Fatal("dkipd: -advertise requires -cache-dir (membership leases live in the fleet's shared store)")
+		}
+		registry = serve.NewRegistry(store, *advertise, *memberTTL)
+		sopts = append(sopts, serve.WithMembers(registry.List))
+	}
+
 	srv := &http.Server{
-		Addr: *addr,
-		Handler: serve.NewServer(runner, store,
-			serve.MaxRequests(*maxRequests),
-			serve.WaitTimeout(*waitTimeout)),
+		Addr:    *addr,
+		Handler: serve.NewServer(runner, store, sopts...),
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if registry != nil {
+		stopBeat := registry.Heartbeat(func(err error) {
+			logger.Printf("membership heartbeat: %v", err)
+		})
+		defer stopBeat()
+		logger.Printf("advertising %s in the fleet membership (lease %v)", registry.Self(), *memberTTL)
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -94,6 +124,13 @@ func main() {
 	case <-ctx.Done():
 	}
 
+	if registry != nil {
+		// Withdraw the lease before draining: clients re-route this daemon's
+		// keys on their next refresh instead of waiting out the TTL.
+		if err := registry.Leave(); err != nil {
+			logger.Printf("leave fleet: %v", err)
+		}
+	}
 	logger.Printf("shutting down: draining in-flight simulations (up to %v)", *drain)
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

@@ -15,6 +15,7 @@
 //	experiments -run fig9 -quick -remote http://localhost:8321
 //	experiments -run all -quick -remote http://a:8321,http://b:8321
 //	experiments -run all -remote http://a:8321,http://b:8321 -remote-fallback -cache-dir ~/.cache/dkip
+//	experiments -run all -quick -remote http://a:8321,http://b:8321 -progress -client-id ci-shard-0
 //
 // Each experiment simulates every benchmark of the relevant suite(s) on the
 // relevant architecture configurations and prints the same rows or series the
@@ -52,14 +53,24 @@
 // finishes on a local runner even when every daemon is down; -cache-dir is
 // only accepted alongside -remote in that combination (it backs the local
 // failover runner — the daemons' stores are configured on dkipd).
+//
+// Fleet extras: -remote-refresh keeps the routing ring synced with the
+// fleet's own membership view (daemons started with -advertise), so hosts
+// joining or leaving mid-sweep are picked up without restarting the client;
+// -client-id names the identity submissions carry for the daemons'
+// fair-share admission (default host-pid); -progress streams a live
+// done/total counter to stderr while each batch resolves.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"dkip/internal/experiments"
@@ -91,6 +102,9 @@ func main() {
 		shard          = flag.String("shard", "", "simulate only shard i of n, as \"i/n\" (requires -cache-dir to be useful)")
 		remote         = flag.String("remote", "", "comma-separated dkipd base URLs: one forwards every run to that daemon, several federate a fleet (key-routed, retrying)")
 		remoteFallback = flag.Bool("remote-fallback", false, "with -remote: finish the sweep on a local runner (sharing -cache-dir) when every daemon is unreachable")
+		remoteRefresh  = flag.Duration("remote-refresh", 15*time.Second, "with a -remote fleet: refresh the routing ring from the fleet's GET /v1/members view at this interval, discovering daemons that join or leave mid-sweep (0 pins the ring to the -remote list)")
+		clientID       = flag.String("client-id", "", "client identity submissions carry (X-Dkip-Client header; default host-pid) — the bucket the daemons' fair-share admission divides gate slots by")
+		progress       = flag.Bool("progress", false, "with -remote: stream live sweep progress (GET /v1/progress) to stderr")
 	)
 	flag.Parse()
 
@@ -130,6 +144,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "experiments: -remote-fallback requires -remote")
 		os.Exit(2)
 	}
+	if *remote == "" && (*progress || *clientID != "") {
+		fmt.Fprintln(os.Stderr, "experiments: -progress and -client-id require -remote")
+		os.Exit(2)
+	}
 	if *remote != "" {
 		// The daemons own the pool, cache tiers, and sharding; local
 		// equivalents alongside -remote would silently do nothing.
@@ -141,17 +159,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiments: -cache-dir alongside -remote requires -remote-fallback (it backs the local failover runner; the daemons' stores are configured on dkipd)")
 			os.Exit(2)
 		}
+		// The health handshake honors ^C: an operator waiting on a fleet
+		// that is still booting can interrupt instead of riding out the
+		// budget.
+		ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stopSignals()
 		bases := strings.Split(*remote, ",")
 		if len(bases) == 1 && !*remoteFallback {
 			// The single-daemon path keeps PR-3 semantics: hard handshake,
 			// plain Client.
-			if err := serve.WaitHealthy(*remote, 5*time.Second); err != nil {
+			if err := serve.WaitHealthy(ctx, *remote, 5*time.Second); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-			runner = serve.NewClient(*remote)
+			runner = serve.NewClient(*remote, serve.Identity(*clientID))
 		} else {
-			var popts []serve.PoolOption
+			popts := []serve.PoolOption{serve.PoolIdentity(*clientID)}
+			if *remoteRefresh > 0 {
+				popts = append(popts, serve.PoolMembership(*remoteRefresh))
+			}
 			if *remoteFallback {
 				var fopts []sim.Option
 				if *cacheDir != "" {
@@ -169,7 +195,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}
-			if err := pool.WaitHealthy(5 * time.Second); err != nil {
+			if err := pool.WaitHealthy(ctx, 5*time.Second); err != nil {
 				if !*remoteFallback {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
@@ -177,6 +203,13 @@ func main() {
 				fmt.Fprintf(os.Stderr, "experiments: %v; continuing on the local fallback runner\n", err)
 			}
 			runner = pool
+		}
+		if *progress {
+			// Watch the first listed daemon: every member sees fleet-wide
+			// completion through the shared store, so one watch point is
+			// enough.
+			watch := serve.NewClient(strings.TrimSpace(bases[0]), serve.Identity(*clientID))
+			runner = &progressBackend{Backend: runner, watch: watch}
 		}
 	} else {
 		opts := []sim.Option{sim.Parallel(*parallel)}
@@ -247,4 +280,42 @@ func main() {
 			fmt.Fprintf(os.Stderr, "runner: %d results persisted to %s\n", m.DiskWrites, *cacheDir)
 		}
 	}
+}
+
+// progressBackend decorates a remote Backend with a live progress line:
+// while each RunAll batch resolves, a second goroutine streams
+// GET /v1/progress for the batch's content keys from one daemon and rewrites
+// a done/total counter on stderr. Stream failures are silent — progress is
+// cosmetic, the submission path is the source of truth.
+type progressBackend struct {
+	sim.Backend
+	watch *serve.Client
+}
+
+func (b *progressBackend) Run(spec sim.RunSpec) (*sim.Result, error) {
+	results, err := b.RunAll([]sim.RunSpec{spec})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
+}
+
+func (b *progressBackend) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
+	keys := serve.ProgressKeys(specs)
+	if len(keys) == 0 {
+		return b.Backend.RunAll(specs)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = b.watch.Progress(ctx, keys, 0, func(ev serve.ProgressEvent) {
+			fmt.Fprintf(os.Stderr, "\rprogress: %d/%d runs resolved", ev.Done, ev.Total)
+		})
+	}()
+	res, err := b.Backend.RunAll(specs)
+	cancel()
+	<-done
+	fmt.Fprintln(os.Stderr)
+	return res, err
 }

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// fairShare is the admission gate ahead of the Server's work-bearing
+// handlers. Like the plain channel gate it replaces, it bounds how many
+// requests are being decoded/streamed at once (capacity); unlike it, slots
+// are divided fairly between client identities (the X-Dkip-Client header):
+// a client may hold at most ceil-ish capacity/activeClients slots, where
+// activeClients counts the identities currently in flight or queued. One
+// sweep flooding the daemon with 64 submissions no longer monopolizes the
+// gate — the moment a second client shows up, the flood's share halves and
+// its excess requests queue behind the newcomer's.
+//
+// A single client still gets the whole gate (share == capacity when it is
+// alone), so the PR-3 behaviour is unchanged until there is actual
+// contention.
+type fairShare struct {
+	capacity int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	inflight map[string]int // admitted requests per client
+	waiting  map[string]int // queued requests per client
+	total    int            // sum of inflight
+	totalQ   int            // sum of waiting
+}
+
+func newFairShare(capacity int) *fairShare {
+	g := &fairShare{
+		capacity: capacity,
+		inflight: make(map[string]int),
+		waiting:  make(map[string]int),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// share returns the per-client slot quota under the current contention:
+// capacity divided by the number of active identities, never below one.
+// Caller holds g.mu.
+func (g *fairShare) share() int {
+	active := len(g.inflight)
+	for c := range g.waiting {
+		if _, in := g.inflight[c]; !in {
+			active++
+		}
+	}
+	if active < 1 {
+		active = 1
+	}
+	s := g.capacity / active
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// acquire blocks until the client may enter — the gate has a free slot and
+// the client is within its fair share — or ctx expires. Queued requests
+// re-evaluate on every release, so a client dropping below quota admits its
+// next request promptly; an over-quota client's requests stay queued while
+// under-quota clients pass them.
+func (g *fairShare) acquire(ctx context.Context, client string) error {
+	g.mu.Lock()
+	if g.total < g.capacity && g.inflight[client] < g.share() && g.totalQ == 0 {
+		// Fast path: nobody queued and the client is under quota.
+		g.inflight[client]++
+		g.total++
+		g.mu.Unlock()
+		return nil
+	}
+	g.waiting[client]++
+	g.totalQ++
+	// A sync.Cond cannot select on a context; wake the queue when the
+	// caller gives up so its waiter can notice and withdraw.
+	stopWatch := context.AfterFunc(ctx, g.cond.Broadcast)
+	defer stopWatch()
+	for !(g.total < g.capacity && g.inflight[client] < g.share()) {
+		if ctx.Err() != nil {
+			g.unqueue(client)
+			g.mu.Unlock()
+			return ctx.Err()
+		}
+		g.cond.Wait()
+	}
+	g.unqueue(client)
+	g.inflight[client]++
+	g.total++
+	g.mu.Unlock()
+	return nil
+}
+
+// unqueue removes one queued request for client. Caller holds g.mu.
+func (g *fairShare) unqueue(client string) {
+	if g.waiting[client]--; g.waiting[client] <= 0 {
+		delete(g.waiting, client)
+	}
+	g.totalQ--
+}
+
+// release returns a slot and wakes the queue. Every waiter re-checks its
+// own admission condition: the freed slot goes to whichever queued client
+// is under quota, not to whoever queued first regardless of share.
+func (g *fairShare) release(client string) {
+	g.mu.Lock()
+	if g.inflight[client]--; g.inflight[client] <= 0 {
+		delete(g.inflight, client)
+	}
+	g.total--
+	g.mu.Unlock()
+	g.cond.Broadcast()
+}
+
+// gateSnapshot is the observability view of the gate: depths for the gauge
+// families and the per-client in-flight/queued breakdown. The per-client
+// maps are bounded by construction — entries are deleted at zero — so the
+// label cardinality of the exposition tracks live contention, not history.
+type gateSnapshot struct {
+	Capacity  int
+	Inflight  int
+	Waiting   int
+	PerClient map[string][2]int // client -> {inflight, waiting}
+}
+
+// snapshot returns a consistent copy of the gate state.
+func (g *fairShare) snapshot() gateSnapshot {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	s := gateSnapshot{
+		Capacity:  g.capacity,
+		Inflight:  g.total,
+		Waiting:   g.totalQ,
+		PerClient: make(map[string][2]int, len(g.inflight)+len(g.waiting)),
+	}
+	for c, n := range g.inflight {
+		s.PerClient[c] = [2]int{n, 0}
+	}
+	for c, n := range g.waiting {
+		e := s.PerClient[c]
+		e[1] = n
+		s.PerClient[c] = e
+	}
+	return s
+}

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// A lone client owns the whole gate: capacity admissions pass, one more
+// queues, and a release admits it — the pre-fair-share behaviour.
+func TestFairShareSingleClientGetsFullCapacity(t *testing.T) {
+	g := newFairShare(4)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if err := g.acquire(ctx, "a"); err != nil {
+			t.Fatalf("admission %d under capacity: %v", i, err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx, "a") }()
+	select {
+	case <-errc:
+		t.Fatal("admission over capacity did not queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	g.release("a")
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("queued admission after release: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("release admitted nobody")
+	}
+}
+
+// Under contention the freed slot goes to the under-quota client, not to
+// whoever queued first: client A holds the gate and has queued more; B's
+// single queued request must pass A's.
+func TestFairShareAdmitsUnderQuotaClientFirst(t *testing.T) {
+	g := newFairShare(2)
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := g.acquire(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aDone := make(chan error, 1)
+	go func() { aDone <- g.acquire(ctx, "a") }()
+	time.Sleep(20 * time.Millisecond) // A queues first
+	bDone := make(chan error, 1)
+	go func() { bDone <- g.acquire(ctx, "b") }()
+	time.Sleep(20 * time.Millisecond)
+
+	g.release("a") // share is now 1 each: A still holds 1, so B must win
+	select {
+	case err := <-bDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-aDone:
+		t.Fatal("over-quota client was admitted ahead of the under-quota one")
+	case <-time.After(5 * time.Second):
+		t.Fatal("release admitted nobody")
+	}
+	g.release("a") // A drops to 0 in flight: its queued request passes now
+	select {
+	case err := <-aDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second release never admitted the queued client")
+	}
+}
+
+// A queued client whose context expires withdraws cleanly: the error
+// surfaces and no phantom queue entry skews later shares.
+func TestFairShareAcquireHonorsContext(t *testing.T) {
+	g := newFairShare(1)
+	if err := g.acquire(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.acquire(ctx, "b") }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("canceled acquire returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled acquire never returned")
+	}
+	snap := g.snapshot()
+	if snap.Waiting != 0 {
+		t.Fatalf("withdrawn waiter left queue depth %d", snap.Waiting)
+	}
+	if _, ok := snap.PerClient["b"]; ok {
+		t.Fatal("withdrawn waiter left a per-client entry")
+	}
+	// The slot still cycles normally.
+	g.release("a")
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(context.Background(), "c") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gate wedged after a waiter withdrew")
+	}
+}
+
+// The snapshot reports capacity, depths, and the per-client breakdown, and
+// entries vanish at zero so exposition label cardinality tracks live state.
+func TestFairShareSnapshot(t *testing.T) {
+	g := newFairShare(3)
+	ctx := context.Background()
+	g.acquire(ctx, "a")
+	g.acquire(ctx, "a")
+	g.acquire(ctx, "b")
+	s := g.snapshot()
+	if s.Capacity != 3 || s.Inflight != 3 || s.Waiting != 0 {
+		t.Fatalf("snapshot %+v, want capacity 3, inflight 3, waiting 0", s)
+	}
+	if s.PerClient["a"] != [2]int{2, 0} || s.PerClient["b"] != [2]int{1, 0} {
+		t.Fatalf("per-client breakdown %v", s.PerClient)
+	}
+	g.release("a")
+	g.release("a")
+	g.release("b")
+	if s := g.snapshot(); len(s.PerClient) != 0 || s.Inflight != 0 {
+		t.Fatalf("drained gate still reports %+v", s)
+	}
+}

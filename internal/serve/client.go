@@ -9,12 +9,27 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"os"
 	"strings"
 	"sync"
 	"time"
 
 	"dkip/internal/sim"
 )
+
+// clientHeader carries the client identity the daemon's fair-share gate
+// admits under.
+const clientHeader = "X-Dkip-Client"
+
+// defaultIdentity derives the identity submissions carry when the caller
+// sets none: host-pid, distinct per process, stable for its lifetime.
+func defaultIdentity() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "client"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}
 
 // Client is a sim.Backend that forwards every spec to a dkipd daemon. Run
 // and RunAll block until the daemon resolves the submission (sharing its
@@ -30,6 +45,7 @@ type Client struct {
 	retry         RetryPolicy
 	metaTimeout   time.Duration
 	submitTimeout time.Duration
+	identity      string
 
 	mu      sync.Mutex
 	results map[string]*sim.Result
@@ -51,6 +67,19 @@ func WithRetry(p RetryPolicy) ClientOption {
 // d <= 0 disables the bound.
 func MetaTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.metaTimeout = d }
+}
+
+// Identity sets the client identity submissions carry (the X-Dkip-Client
+// header), the bucket the daemon's fair-share gate admits them under.
+// Default: host-pid. Empty keeps the default — an identityless client would
+// land in the daemon's shared anonymous bucket and contend with every
+// headerless curl on the network.
+func Identity(id string) ClientOption {
+	return func(c *Client) {
+		if id = strings.TrimSpace(id); id != "" {
+			c.identity = id
+		}
+	}
 }
 
 // SubmitTimeout bounds each POST /v1/runs attempt (default none: full-scale
@@ -82,6 +111,7 @@ func NewClient(base string, opts ...ClientOption) *Client {
 		hc:          &http.Client{Transport: tr},
 		retry:       DefaultRetry,
 		metaTimeout: 30 * time.Second,
+		identity:    defaultIdentity(),
 		results:     make(map[string]*sim.Result),
 	}
 	for _, o := range opts {
@@ -116,6 +146,13 @@ func (c *Client) Run(spec sim.RunSpec) (*sim.Result, error) {
 // trip (submit and decode) is retried with capped backoff on transient
 // failures: a daemon restart mid-sweep costs one backoff, not the sweep.
 func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
+	return c.runAll(context.Background(), specs)
+}
+
+// runAll is RunAll under a caller-supplied context: the Pool's work-stealing
+// path cancels the slower of two racing submissions through it. Cancellation
+// surfaces as a non-transient error, so the retry loop stops immediately.
+func (c *Client) runAll(ctx context.Context, specs []sim.RunSpec) ([]*sim.Result, error) {
 	wire := make([]Spec, len(specs))
 	for i, s := range specs {
 		ws, err := EncodeSpec(s)
@@ -132,16 +169,20 @@ func (c *Client) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 	}
 	var rr RunsResponse
 	err = c.retry.Do(func() error {
-		ctx, cancel := context.Background(), context.CancelFunc(func() {})
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		attemptCtx, cancel := ctx, context.CancelFunc(func() {})
 		if c.submitTimeout > 0 {
-			ctx, cancel = context.WithTimeout(context.Background(), c.submitTimeout)
+			attemptCtx, cancel = context.WithTimeout(ctx, c.submitTimeout)
 		}
 		defer cancel()
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(attemptCtx, http.MethodPost, c.base+"/v1/runs", bytes.NewReader(body))
 		if err != nil {
 			return fmt.Errorf("serve: submit to %s: %w", c.base, err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(clientHeader, c.identity)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return fmt.Errorf("serve: submit to %s: %w", c.base, err)
@@ -299,6 +340,32 @@ func (c *Client) Metrics() sim.Metrics {
 	return mr.Metrics
 }
 
+// Members fetches the daemon's live fleet-membership view, bounded by the
+// metadata timeout. A daemon without membership configured answers 404
+// (surfaced as an *HTTPError), which Pool treats as "no dynamic membership
+// here" rather than a failure.
+func (c *Client) Members() ([]Member, error) {
+	ctx, cancel := c.metaCtx()
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/members", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve: members: %w", err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve: members: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var mr MembersResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mr); err != nil {
+		return nil, fmt.Errorf("serve: decode members: %w", err)
+	}
+	return mr.Members, nil
+}
+
 // httpError turns a non-200 daemon answer into an *HTTPError carrying the
 // status and the (plain text) body the handlers write. A failure reading
 // the error body itself is surfaced next to whatever arrived, never
@@ -336,12 +403,16 @@ func Healthy(base string) error {
 	return nil
 }
 
-// WaitHealthy polls GET /v1/healthz until the daemon answers or the budget
-// elapses — the handshake cmd/experiments -remote and the CI smoke test use
-// before submitting.
-func WaitHealthy(base string, budget time.Duration) error {
+// WaitHealthy polls GET /v1/healthz until the daemon answers, the budget
+// elapses, or ctx is canceled — the handshake cmd/experiments -remote and
+// the CI smoke test use before submitting. A canceled context (the operator
+// hit ^C while waiting) returns ctx's error immediately instead of burning
+// the rest of the budget.
+func WaitHealthy(ctx context.Context, base string, budget time.Duration) error {
 	base = strings.TrimRight(base, "/")
 	deadline := time.Now().Add(budget)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
 	var lastErr error
 	for {
 		if lastErr = Healthy(base); lastErr == nil {
@@ -350,6 +421,10 @@ func WaitHealthy(base string, budget time.Duration) error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("serve: daemon at %s not healthy after %v: %w", base, budget, lastErr)
 		}
-		time.Sleep(100 * time.Millisecond)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return fmt.Errorf("serve: wait for daemon at %s: %w", base, context.Cause(ctx))
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"io"
 	"net/http"
@@ -247,7 +248,7 @@ func TestHealthzProbe(t *testing.T) {
 	if err := Healthy(ts.URL); err != nil {
 		t.Fatalf("Healthy against a live daemon: %v", err)
 	}
-	if err := WaitHealthy(ts.URL, time.Second); err != nil {
+	if err := WaitHealthy(context.Background(), ts.URL, time.Second); err != nil {
 		t.Fatalf("WaitHealthy against a live daemon: %v", err)
 	}
 	if m := runner.Metrics(); m.Requested != 0 {
@@ -257,7 +258,7 @@ func TestHealthzProbe(t *testing.T) {
 	url := dead.URL
 	dead.Close()
 	start := time.Now()
-	if err := WaitHealthy(url, 300*time.Millisecond); err == nil {
+	if err := WaitHealthy(context.Background(), url, 300*time.Millisecond); err == nil {
 		t.Error("WaitHealthy against a closed port succeeded")
 	}
 	if time.Since(start) > 5*time.Second {

@@ -1,12 +1,16 @@
 package serve
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
+	"math"
+	"net/http"
 	"sort"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dkip/internal/sim"
@@ -25,14 +29,20 @@ import (
 // caveat: a member that accepts submissions but never answers them is, by
 // default, indistinguishable from one running a long simulation — bound
 // submissions with PoolSubmitTimeout when sweep latency is known so such a
-// member re-routes too.
+// member re-routes too, or race its chunks against idle peers with
+// PoolSteal.
+//
+// With PoolMembership the ring is dynamic: between re-route rounds the Pool
+// refreshes its member set from the fleet's own GET /v1/members view, so
+// daemons joining or leaving mid-sweep are picked up without a client
+// restart — and rendezvous routing keeps surviving members' keys pinned
+// while they do.
 //
 // Determinism survives federation: Results reports the unique records seen
 // fleet-wide, key-sorted like every other Backend, so a -json artifact
 // produced through a Pool compares byte-for-byte (outside the metrics
 // section) with a local run's.
 type Pool struct {
-	members       []*member
 	chunk         int
 	window        chan struct{}
 	retry         RetryPolicy
@@ -40,6 +50,24 @@ type Pool struct {
 	submitTimeout time.Duration
 	probe         func(base string) error
 	fallback      *sim.Runner
+	identity      string
+	steal         time.Duration
+
+	membership      bool
+	refreshInterval time.Duration
+
+	// membersMu guards the ring. The slice is replaced wholesale on
+	// reconcile (never mutated in place), so a snapshot stays valid across a
+	// refresh; individual member health lives in each member's own lock.
+	membersMu   sync.RWMutex
+	members     []*member
+	lastRefresh time.Time
+
+	// seeds are the URLs the Pool was constructed with. Reconcile never
+	// drops a seed — health probing sidelines a dead one on its own — so an
+	// operator's explicit fleet list survives a membership view that is
+	// temporarily empty or partial.
+	seeds map[string]bool
 
 	mu      sync.Mutex
 	results map[string]*sim.Result
@@ -53,7 +81,12 @@ type member struct {
 	client *Client
 
 	mu        sync.Mutex
-	downUntil time.Time // zero when the member is routable
+	downUntil time.Time     // zero when the member is routable
+	gen       uint64        // bumped by every markDown; stale probe outcomes must not override newer evidence
+	probing   chan struct{} // non-nil while one revival probe runs; followers wait on it
+
+	inflight  atomic.Int32 // chunk submissions currently in flight to this member
+	latencyNs atomic.Int64 // last successful chunk's latency; 0 until observed
 }
 
 // down reports whether the member is currently out of the routing ring —
@@ -80,7 +113,7 @@ func PoolChunk(n int) PoolOption {
 }
 
 // PoolWindow bounds chunk submissions in flight across the whole fleet
-// (default 2× the member count); n <= 0 keeps the default.
+// (default 2× the seed member count); n <= 0 keeps the default.
 func PoolWindow(n int) PoolOption {
 	return func(p *Pool) {
 		if n > 0 {
@@ -131,6 +164,43 @@ func PoolFallback(r *sim.Runner) PoolOption {
 	return func(p *Pool) { p.fallback = r }
 }
 
+// PoolIdentity sets the client identity chunk submissions carry (the
+// X-Dkip-Client header), the bucket the daemons' fair-share gates admit
+// them under. Default: host-pid, shared by every member client of this
+// Pool, so one sweep is one client fleet-wide.
+func PoolIdentity(id string) PoolOption {
+	return func(p *Pool) { p.identity = id }
+}
+
+// PoolMembership enables dynamic membership: between re-route rounds the
+// Pool fetches GET /v1/members from a live member and reconciles its ring
+// with the view — discovered daemons join the ring, departed ones (expired
+// lease or graceful leave) drop out, seeds always stay. interval throttles
+// steady-state refreshes (<= 0 refreshes every round; DefaultMemberTTL is a
+// sensible production value); a re-route round always refreshes regardless,
+// because failures are exactly when the ring is most likely stale.
+func PoolMembership(interval time.Duration) PoolOption {
+	return func(p *Pool) {
+		p.membership = true
+		p.refreshInterval = interval
+	}
+}
+
+// PoolSteal enables work-stealing for stragglers: when a chunk has been in
+// flight longer than d and an alive peer is idle, the chunk is resubmitted
+// to the idlest peer and the two submissions race — first answer wins, the
+// loser is canceled. Duplicated work is nearly free (specs are
+// content-keyed; the daemons share one store, so the duplicate is usually a
+// dedup or disk hit), while a straggling daemon stops gating the sweep's
+// tail. Off by default.
+func PoolSteal(d time.Duration) PoolOption {
+	return func(p *Pool) {
+		if d > 0 {
+			p.steal = d
+		}
+	}
+}
+
 // NewPool builds a Pool over the given daemon base URLs (e.g.
 // "http://a:8321", "http://b:8321"). Empty entries are dropped; duplicate
 // bases are an error — two ring slots for one daemon would skew routing.
@@ -140,31 +210,29 @@ func NewPool(bases []string, opts ...PoolOption) (*Pool, error) {
 		retry:    DefaultRetry,
 		cooldown: 15 * time.Second,
 		probe:    Healthy,
+		seeds:    make(map[string]bool),
 		results:  make(map[string]*sim.Result),
 	}
-	seen := make(map[string]bool)
+	var order []string
 	for _, b := range bases {
-		b = strings.TrimRight(strings.TrimSpace(b), "/")
+		b = normalizeBase(b)
 		if b == "" {
 			continue
 		}
-		if seen[b] {
+		if p.seeds[b] {
 			return nil, fmt.Errorf("serve: pool backend %s listed twice", b)
 		}
-		seen[b] = true
-		p.members = append(p.members, &member{base: b})
+		p.seeds[b] = true
+		order = append(order, b)
 	}
-	if len(p.members) == 0 {
+	if len(order) == 0 {
 		return nil, fmt.Errorf("serve: pool needs at least one backend URL")
 	}
 	for _, o := range opts {
 		o(p)
 	}
-	for _, m := range p.members {
-		// Member metadata reads get a short timeout: Pool.Metrics must not
-		// stall for half a minute on a host that died between sweeps.
-		m.client = NewClient(m.base, WithRetry(p.retry),
-			MetaTimeout(5*time.Second), SubmitTimeout(p.submitTimeout))
+	for _, b := range order {
+		p.members = append(p.members, p.newMember(b))
 	}
 	if p.window == nil {
 		p.window = make(chan struct{}, 2*len(p.members))
@@ -172,23 +240,51 @@ func NewPool(bases []string, opts ...PoolOption) (*Pool, error) {
 	return p, nil
 }
 
-// WaitHealthy blocks until at least one backend answers its health probe or
-// the budget elapses. One live member makes the whole pool usable —
-// rendezvous routing only ever targets members that look alive.
-func (p *Pool) WaitHealthy(budget time.Duration) error {
+// newMember builds a ring entry and its client; call after options are
+// applied so the client inherits the Pool's retry, timeout, and identity.
+func (p *Pool) newMember(base string) *member {
+	m := &member{base: base}
+	// Member metadata reads get a short timeout: Pool.Metrics must not
+	// stall for half a minute on a host that died between sweeps.
+	m.client = NewClient(base, WithRetry(p.retry),
+		MetaTimeout(5*time.Second), SubmitTimeout(p.submitTimeout), Identity(p.identity))
+	return m
+}
+
+// snapshot returns the current ring. The slice is immutable once published
+// (reconcile replaces it wholesale), so callers may iterate without holding
+// the lock.
+func (p *Pool) snapshot() []*member {
+	p.membersMu.RLock()
+	defer p.membersMu.RUnlock()
+	return p.members
+}
+
+// WaitHealthy blocks until at least one backend answers its health probe,
+// the budget elapses, or ctx is canceled. One live member makes the whole
+// pool usable — rendezvous routing only ever targets members that look
+// alive.
+func (p *Pool) WaitHealthy(ctx context.Context, budget time.Duration) error {
 	deadline := time.Now().Add(budget)
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
 	var lastErr error
 	for {
-		for _, m := range p.members {
+		members := p.snapshot()
+		for _, m := range members {
 			if lastErr = p.probe(m.base); lastErr == nil {
 				return nil
 			}
 		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("serve: none of %d pool backends healthy after %v: %w",
-				len(p.members), budget, lastErr)
+				len(members), budget, lastErr)
 		}
-		time.Sleep(100 * time.Millisecond)
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return fmt.Errorf("serve: wait for pool backends: %w", context.Cause(ctx))
+		}
 	}
 }
 
@@ -197,11 +293,12 @@ func (p *Pool) WaitHealthy(budget time.Duration) error {
 // ring, failure extends the cooldown — keys never route back to a host that
 // cannot answer a trivial GET. Expired-cooldown members are probed
 // concurrently, so several dead hosts cost the round one probe timeout, not
-// one each.
+// one each; concurrent alive() calls share one probe per member rather than
+// stacking duplicates against a slow host.
 func (p *Pool) alive() []*member {
 	now := time.Now()
 	var out, expired []*member
-	for _, m := range p.members {
+	for _, m := range p.snapshot() {
 		m.mu.Lock()
 		downUntil := m.downUntil
 		m.mu.Unlock()
@@ -223,14 +320,7 @@ func (p *Pool) alive() []*member {
 		wg.Add(1)
 		go func(i int, m *member) {
 			defer wg.Done()
-			if err := p.probe(m.base); err != nil {
-				p.markDown(m)
-				return
-			}
-			m.mu.Lock()
-			m.downUntil = time.Time{}
-			m.mu.Unlock()
-			revived[i] = true
+			revived[i] = p.probeMember(m)
 		}(i, m)
 	}
 	wg.Wait()
@@ -242,11 +332,138 @@ func (p *Pool) alive() []*member {
 	return out
 }
 
-// markDown takes a member out of the routing ring for one cooldown.
+// probeMember runs (or joins) the singleflight revival probe for a member
+// whose cooldown looked expired, and reports whether the member is routable
+// afterwards. Concurrency rules: only one probe per member is in flight —
+// late arrivals wait for its outcome instead of launching their own — and a
+// markDown that lands while the probe runs (a submission failing right now)
+// bumps the member's generation so the probe's stale success cannot revive
+// a host that newer evidence says is down.
+func (p *Pool) probeMember(m *member) bool {
+	m.mu.Lock()
+	if m.downUntil.IsZero() {
+		m.mu.Unlock()
+		return true
+	}
+	if time.Now().Before(m.downUntil) {
+		m.mu.Unlock()
+		return false
+	}
+	if ch := m.probing; ch != nil {
+		// A probe is already in flight: join it.
+		m.mu.Unlock()
+		<-ch
+		m.mu.Lock()
+		ok := m.downUntil.IsZero()
+		m.mu.Unlock()
+		return ok
+	}
+	ch := make(chan struct{})
+	m.probing = ch
+	gen := m.gen
+	m.mu.Unlock()
+
+	err := p.probe(m.base)
+
+	m.mu.Lock()
+	var ok bool
+	switch {
+	case err != nil:
+		// Extending the cooldown is safe even when a concurrent markDown
+		// already did: both say "down".
+		m.downUntil = time.Now().Add(p.cooldown)
+	case m.gen == gen:
+		// No markDown landed while the probe ran; the success is current.
+		m.downUntil = time.Time{}
+		ok = true
+	default:
+		// The probe raced a markDown and lost: the submission failure is
+		// newer evidence than our successful GET. Leave the member as the
+		// markDown set it.
+		ok = m.downUntil.IsZero()
+	}
+	m.probing = nil
+	m.mu.Unlock()
+	close(ch)
+	return ok
+}
+
+// markDown takes a member out of the routing ring for one cooldown and bumps
+// its generation so any in-flight revival probe's success is discarded.
 func (p *Pool) markDown(m *member) {
 	m.mu.Lock()
+	m.gen++
 	m.downUntil = time.Now().Add(p.cooldown)
 	m.mu.Unlock()
+}
+
+// refreshMembers fetches the membership view from the first alive member
+// serving one and reconciles the ring; reports whether a reconcile ran.
+// No-ops when membership is disabled, the throttle interval has not elapsed
+// (unless force), no member answers, or the fleet does not serve membership
+// (404 — a static fleet of pre-membership daemons keeps working unchanged).
+func (p *Pool) refreshMembers(alive []*member, force bool) bool {
+	if !p.membership {
+		return false
+	}
+	p.membersMu.Lock()
+	if !force && p.refreshInterval > 0 && !p.lastRefresh.IsZero() &&
+		time.Since(p.lastRefresh) < p.refreshInterval {
+		p.membersMu.Unlock()
+		return false
+	}
+	p.lastRefresh = time.Now()
+	p.membersMu.Unlock()
+	for _, m := range alive {
+		view, err := m.client.Members()
+		if err != nil {
+			var he *HTTPError
+			if errors.As(err, &he) && he.StatusCode == http.StatusNotFound {
+				return false // daemon without -advertise: no dynamic membership
+			}
+			continue // unreachable member: ask the next one
+		}
+		p.reconcile(view)
+		return true
+	}
+	return false
+}
+
+// reconcile rebuilds the ring as the union of the seed URLs and the live
+// membership view. Existing member objects are preserved so health state,
+// probe generations, and in-flight accounting survive a refresh; discovered
+// members join fresh, departed non-seeds drop out.
+func (p *Pool) reconcile(view []Member) {
+	now := time.Now()
+	want := make(map[string]bool, len(view)+len(p.seeds))
+	for b := range p.seeds {
+		want[b] = true
+	}
+	for _, m := range view {
+		if b := normalizeBase(m.URL); b != "" && m.Live(now) {
+			want[b] = true
+		}
+	}
+	bases := make([]string, 0, len(want))
+	for b := range want {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	p.membersMu.Lock()
+	defer p.membersMu.Unlock()
+	existing := make(map[string]*member, len(p.members))
+	for _, m := range p.members {
+		existing[m.base] = m
+	}
+	next := make([]*member, 0, len(bases))
+	for _, b := range bases {
+		if m, ok := existing[b]; ok {
+			next = append(next, m)
+		} else {
+			next = append(next, p.newMember(b))
+		}
+	}
+	p.members = next
 }
 
 // route picks the member owning a content key by rendezvous
@@ -326,14 +543,24 @@ func (p *Pool) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 	resolved := make(map[string]*sim.Result, len(unique))
 	for round := 0; len(pending) > 0; round++ {
 		alive := p.alive()
-		if len(alive) == 0 || round > len(p.members) {
+		if p.membership && len(alive) > 0 {
+			// Failures (round > 0) force a refresh past the throttle: a
+			// re-route is exactly when the ring is most likely stale — the
+			// failed member may have left, and a fresh joiner may be ready
+			// to absorb its keys.
+			if p.refreshMembers(alive, round > 0) {
+				alive = p.alive()
+			}
+		}
+		ringSize := len(p.snapshot())
+		if len(alive) == 0 || round > ringSize {
 			// Every backend is down, or the round budget is spent (a member
 			// keeps passing its health probe and then failing submissions):
 			// the sweep still finishes if a local fallback was configured.
 			if p.fallback == nil {
 				if len(alive) == 0 {
 					return nil, fmt.Errorf("serve: could not place %d runs: all %d pool backends unhealthy and no local fallback configured",
-						len(pending), len(p.members))
+						len(pending), ringSize)
 				}
 				return nil, fmt.Errorf("serve: could not place %d runs after %d re-route rounds (backends accept probes but fail submissions) and no local fallback configured",
 					len(pending), round)
@@ -386,12 +613,11 @@ func (p *Pool) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 					for i, k := range ck {
 						cs[i] = unique[k]
 					}
-					res, err := m.client.RunAll(cs)
+					res, err := p.submitChunk(m, cs, alive)
 					outMu.Lock()
 					defer outMu.Unlock()
 					if err != nil {
 						if Transient(err) {
-							p.markDown(m)
 							failures = append(failures, ck...)
 						} else if fatal == nil {
 							fatal = err
@@ -428,6 +654,105 @@ func (p *Pool) RunAll(specs []sim.RunSpec) ([]*sim.Result, error) {
 	return out, nil
 }
 
+// submitChunk submits one chunk to its routed member. With stealing enabled
+// and the chunk still unanswered after the steal deadline, the chunk is
+// duplicated to the idlest alive peer and the two submissions race: first
+// success wins and cancels the other (cancellation is non-transient, so the
+// loser's retry ladder stops dead). Transient failures mark the failing
+// member down either way.
+func (p *Pool) submitChunk(primary *member, specs []sim.RunSpec, peers []*member) ([]*sim.Result, error) {
+	if p.steal <= 0 || len(peers) < 2 {
+		res, err := p.timedRunAll(context.Background(), primary, specs)
+		if err != nil && Transient(err) {
+			p.markDown(primary)
+		}
+		return res, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type answer struct {
+		m   *member
+		res []*sim.Result
+		err error
+	}
+	ch := make(chan answer, 2) // buffered: the canceled loser's answer is never read
+	submit := func(m *member) {
+		res, err := p.timedRunAll(ctx, m, specs)
+		ch <- answer{m, res, err}
+	}
+	outstanding := 1
+	go submit(primary)
+	timer := time.NewTimer(p.steal)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case a := <-ch:
+			if a.err == nil {
+				return a.res, nil
+			}
+			if Transient(a.err) {
+				p.markDown(a.m)
+			}
+			if firstErr == nil {
+				firstErr = a.err
+			}
+			if outstanding--; outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer.C:
+			// The primary is straggling. One steal per chunk: resubmit to
+			// the idlest peer (duplicates are nearly free — the daemons
+			// share singleflight keys through one store) and let the two
+			// race. With every peer busy or down right now, re-arm and try
+			// again — peers finishing their own chunks become eligible.
+			if thief := p.idlestPeer(primary, peers); thief != nil {
+				outstanding++
+				go submit(thief)
+			} else {
+				timer.Reset(p.steal)
+			}
+		}
+	}
+}
+
+// timedRunAll wraps a member submission with the in-flight and latency
+// accounting the steal scheduler picks targets by.
+func (p *Pool) timedRunAll(ctx context.Context, m *member, specs []sim.RunSpec) ([]*sim.Result, error) {
+	m.inflight.Add(1)
+	start := time.Now()
+	res, err := m.client.runAll(ctx, specs)
+	m.inflight.Add(-1)
+	if err == nil {
+		m.latencyNs.Store(time.Since(start).Nanoseconds())
+	}
+	return res, err
+}
+
+// idlestPeer picks the steal target: an alive peer (not the primary, not
+// down) with nothing in flight, preferring the fastest last-observed chunk
+// latency; nil when every peer is busy or down. Members never observed
+// (latency 0) rank last among idle peers — a host that has answered fast is
+// a better bet than one that has answered nothing.
+func (p *Pool) idlestPeer(primary *member, peers []*member) *member {
+	now := time.Now()
+	var best *member
+	var bestLat int64
+	for _, m := range peers {
+		if m == primary || m.down(now) || m.inflight.Load() != 0 {
+			continue
+		}
+		lat := m.latencyNs.Load()
+		if lat == 0 {
+			lat = math.MaxInt64
+		}
+		if best == nil || lat < bestLat || (lat == bestLat && m.base < best.base) {
+			best, bestLat = m, lat
+		}
+	}
+	return best
+}
+
 // Results returns copies of the unique runs resolved fleet-wide (including
 // any the local fallback simulated), sorted by content key — the same
 // contract as Runner.Results and Client.Results, so pool, single-daemon,
@@ -449,11 +774,12 @@ func (p *Pool) Results() []*sim.Result {
 // unreachable daemon) instead of stalling the read.
 func (p *Pool) Metrics() sim.Metrics {
 	now := time.Now()
+	members := p.snapshot()
 	// Fan the per-member reads out like alive() fans probes out: several
 	// dead-but-not-marked members cost one metadata timeout, not one each.
-	snaps := make([]sim.Metrics, len(p.members))
+	snaps := make([]sim.Metrics, len(members))
 	var wg sync.WaitGroup
-	for i, m := range p.members {
+	for i, m := range members {
 		if m.down(now) {
 			continue
 		}

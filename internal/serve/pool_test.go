@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -371,11 +372,11 @@ func TestPoolWaitHealthy(t *testing.T) {
 	dead, _, _ := newFleetMember(t)
 	dead.Close()
 	pool := newTestPool(t, []*httptest.Server{dead, a})
-	if err := pool.WaitHealthy(2 * time.Second); err != nil {
+	if err := pool.WaitHealthy(context.Background(), 2*time.Second); err != nil {
 		t.Fatalf("WaitHealthy with one live member: %v", err)
 	}
 	allDead := newTestPool(t, []*httptest.Server{dead})
-	if err := allDead.WaitHealthy(200 * time.Millisecond); err == nil {
+	if err := allDead.WaitHealthy(context.Background(), 200*time.Millisecond); err == nil {
 		t.Fatal("WaitHealthy with no live members succeeded")
 	}
 }

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dkip/internal/sim"
+)
+
+// The live /metrics exposition of a working daemon — runner counters, gate
+// gauges, per-client series, store gauges, membership gauge — must pass the
+// strict linter CI holds it to, and carry the headline counters.
+func TestPromEndpointLintsClean(t *testing.T) {
+	store, err := sim.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := []Member{{URL: "http://a:1", Expires: time.Now().Add(time.Minute).UnixMilli()}}
+	ts, _ := newTestServer(t, store, WithMembers(func() []Member { return view }))
+	c := NewClient(ts.URL, Identity("lint-test"))
+	if _, err := c.RunAll(testSpecs()); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("exposition content type %q", ct)
+	}
+	if err := LintExposition(strings.NewReader(string(data))); err != nil {
+		t.Fatalf("live exposition fails the linter: %v\n%s", err, data)
+	}
+	for _, want := range []string{
+		"dkip_runner_requested_total 4",
+		"dkip_runner_simulated_total 3",
+		"dkip_gate_capacity 64",
+		"dkip_store_entries 3",
+		"dkip_fleet_members 1",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("exposition is missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// The linter rejects the malformations a half-written handler would emit.
+func TestLintExpositionCatchesBreakage(t *testing.T) {
+	cases := map[string]string{
+		"empty":                   "",
+		"no samples":              "# HELP x y\n# TYPE x counter\n",
+		"sample before TYPE":      "x 1\n",
+		"unknown type":            "# TYPE x widget\nx 1\n",
+		"second TYPE declaration": "# TYPE a counter\n# TYPE a gauge\na 1\n",
+		"bad metric name":         "# TYPE a counter\na 1\n# TYPE 0b counter\n",
+		"bad value":               "# TYPE x counter\nx abc\n",
+		"bad timestamp":           "# TYPE x counter\nx 1 late\n",
+		"duplicate sample":        "# TYPE x counter\nx 1\nx 2\n",
+		"duplicate labeled":       "# TYPE x counter\nx{l=\"v\"} 1\nx{l=\"v\"} 2\n",
+		"bad label name":          "# TYPE a counter\na{0l=\"v\"} 1\n",
+		"unquoted label value":    "# TYPE a counter\na{l=v} 1\n",
+		"unterminated label":      "# TYPE a counter\na{l=\"v} 1\n",
+		"bad escape":              "# TYPE a counter\na{l=\"\\t\"} 1\n",
+		"interleaved families":    "# TYPE a counter\na 1\n# TYPE b counter\nb 1\na{l=\"v\"} 2\n",
+	}
+	for name, in := range cases {
+		if err := LintExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: linter accepted %q", name, in)
+		}
+	}
+}
+
+// The linter accepts everything the format allows that the writer uses:
+// escaped label values, timestamps, label order variations, histogram
+// suffix grouping, and the special float spellings.
+func TestLintExpositionAcceptsLegalExpositions(t *testing.T) {
+	cases := map[string]string{
+		"escapes and timestamp": "# HELP a with \\\\ and \\n in help\n# TYPE a counter\n" +
+			"a{l=\"quote \\\" slash \\\\ nl \\n\"} 1 1712345678\n",
+		"same name different labels": "# TYPE a gauge\na{l=\"x\"} 1\na{l=\"y\"} 2\na 3\n",
+		"histogram suffixes": "# TYPE lat histogram\nlat_bucket{le=\"1\"} 1\n" +
+			"lat_bucket{le=\"+Inf\"} 2\nlat_sum 3.5\nlat_count 2\n",
+		"special values":    "# TYPE a gauge\na{k=\"nan\"} NaN\na{k=\"inf\"} +Inf\na{k=\"neg\"} -2e-9\n",
+		"free-form comment": "# just a note\n# TYPE a counter\na 1\n",
+	}
+	for name, in := range cases {
+		if err := LintExposition(strings.NewReader(in)); err != nil {
+			t.Errorf("%s: linter rejected a legal exposition: %v", name, err)
+		}
+	}
+}
+
+// Two scrapes of identical state are byte-identical — the determinism
+// stance extends to the exposition (label maps are emitted sorted).
+func TestPromEndpointDeterministic(t *testing.T) {
+	ts, _ := newTestServer(t, nil)
+	if _, err := NewClient(ts.URL, Identity("det")).RunAll(testSpecs()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	scrape := func() string {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return string(data)
+	}
+	if a, b := scrape(), scrape(); a != b {
+		t.Fatalf("identical state scraped differently:\n%s\n--- vs ---\n%s", a, b)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,13 +20,20 @@ import (
 // Runner's simulation pool: -parallel bounds how many simulations advance at
 // once, the gate bounds how many requests are being decoded/streamed, so a
 // flood of clients queues at the door instead of exhausting daemon memory.
+// Gate slots are divided fairly between client identities (the
+// X-Dkip-Client header): one client's flood queues behind its share instead
+// of monopolizing the daemon against everyone else.
 type Server struct {
 	runner *sim.Runner
 	store  *sim.Store
 
-	gate        chan struct{}
-	waitTimeout time.Duration
-	mux         *http.ServeMux
+	gate               *fairShare
+	waitTimeout        time.Duration
+	streamWriteTimeout time.Duration
+	progressInterval   time.Duration
+	progressBudget     time.Duration
+	members            func() []Member
+	mux                *http.ServeMux
 
 	// statsMu guards a short-TTL cache of Store.Stats: /v1/metrics is
 	// ungated and polled as a health check, and a full directory walk per
@@ -41,13 +49,44 @@ type ServerOption func(*Server)
 
 // MaxRequests bounds concurrently-handled HTTP requests (default 64);
 // n <= 0 keeps the default. Excess requests wait for a slot (bounded by the
-// client's context) rather than failing fast.
+// client's context) rather than failing fast, and slots are shared fairly
+// across client identities.
 func MaxRequests(n int) ServerOption {
 	return func(s *Server) {
 		if n > 0 {
-			s.gate = make(chan struct{}, n)
+			s.gate = newFairShare(n)
 		}
 	}
+}
+
+// StreamWriteTimeout bounds each write of a streaming response — manifest
+// NDJSON and progress events — so a client that stops reading releases its
+// slot instead of holding it for the connection's lifetime (default 30s).
+func StreamWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.streamWriteTimeout = d
+		}
+	}
+}
+
+// ProgressBudget bounds how long one GET /v1/progress stream may stay open
+// (default one hour) — the backstop against watchers of keys that will
+// never resolve.
+func ProgressBudget(d time.Duration) ServerOption {
+	return func(s *Server) {
+		if d > 0 {
+			s.progressBudget = d
+		}
+	}
+}
+
+// WithMembers attaches the fleet-membership source behind GET /v1/members
+// (typically Registry.List). Without one the endpoint answers 404, which a
+// Pool treats as "membership not configured here" and leaves its ring
+// alone.
+func WithMembers(src func() []Member) ServerOption {
+	return func(s *Server) { s.members = src }
 }
 
 // WaitTimeout bounds how long GET /v1/runs/{key}?wait=1 blocks for an
@@ -66,26 +105,48 @@ func WaitTimeout(d time.Duration) ServerOption {
 // (sim.WithStore) so GET-by-key and the manifest see every persisted result.
 func NewServer(r *sim.Runner, store *sim.Store, opts ...ServerOption) *Server {
 	s := &Server{
-		runner:      r,
-		store:       store,
-		gate:        make(chan struct{}, 64),
-		waitTimeout: time.Minute,
+		runner:             r,
+		store:              store,
+		gate:               newFairShare(64),
+		waitTimeout:        time.Minute,
+		streamWriteTimeout: 30 * time.Second,
+		progressInterval:   defaultProgressInterval,
+		progressBudget:     defaultProgressBudget,
 	}
 	for _, o := range opts {
 		o(s)
 	}
 	s.mux = http.NewServeMux()
 	// Only the work-bearing endpoints pass the gate. GET-by-key (even a
-	// blocked ?wait=1 — one goroutine and a channel) and the metrics
-	// health check are deliberately ungated: a full house of waiters must
-	// never starve the submission that would resolve them, nor make the
-	// daemon look dead to WaitHealthy.
+	// blocked ?wait=1 — one goroutine and a channel), progress streams
+	// (held open for a sweep's duration, bounded by their own budget and
+	// per-write deadlines), membership reads, and the metrics health check
+	// are deliberately ungated: a full house of waiters must never starve
+	// the submission that would resolve them, nor make the daemon look
+	// dead to WaitHealthy.
 	s.mux.HandleFunc("POST /v1/runs", s.gated(s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/runs/{key}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/results", s.gated(s.handleResults))
 	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /v1/members", s.handleMembers)
+	s.mux.HandleFunc("GET /v1/progress", s.handleProgress)
+	s.mux.HandleFunc("GET /metrics", s.handleProm)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
+}
+
+// clientID extracts the fair-share identity a request admits under.
+// Anonymous requests (no header) share one bucket — a fleet of headerless
+// curls competes as one client, which is the conservative default.
+func clientID(r *http.Request) string {
+	id := strings.TrimSpace(r.Header.Get(clientHeader))
+	if id == "" {
+		return "anonymous"
+	}
+	if len(id) > 128 {
+		id = id[:128]
+	}
+	return id
 }
 
 // ServeHTTP implements http.Handler.
@@ -93,17 +154,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// gated wraps a handler in the request-concurrency gate: acquire a slot (or
-// give up when the client does), then dispatch.
+// gated wraps a handler in the fair-share request gate: acquire a slot
+// under the request's client identity (or give up when the client does),
+// then dispatch.
 func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		select {
-		case s.gate <- struct{}{}:
-			defer func() { <-s.gate }()
-		case <-r.Context().Done():
+		client := clientID(r)
+		if err := s.gate.acquire(r.Context(), client); err != nil {
 			http.Error(w, "serve: overloaded, request context expired while queued", http.StatusServiceUnavailable)
 			return
 		}
+		defer s.gate.release(client)
 		h(w, r)
 	}
 }
@@ -233,11 +294,20 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	arch, bench := r.URL.Query().Get("arch"), r.URL.Query().Get("bench")
 	w.Header().Set("Content-Type", "application/x-ndjson")
+	rc := http.NewResponseController(w)
 	enc := json.NewEncoder(w)
 	wrote := false
 	emit := func(res *sim.Result) error {
 		if (arch != "" && res.Arch != arch) || (bench != "" && res.Bench != bench) {
 			return nil
+		}
+		// The stream runs inside a gate slot; each write carries its own
+		// deadline so a client that connects and stops reading (full TCP
+		// window, wedged pipe) frees the slot once the kernel buffers
+		// fill, instead of occupying the gate for the connection's
+		// lifetime on a large store.
+		if err := rc.SetWriteDeadline(time.Now().Add(s.streamWriteTimeout)); err == nil {
+			defer rc.SetWriteDeadline(time.Time{})
 		}
 		if err := enc.Encode(res); err != nil {
 			return err
@@ -295,6 +365,63 @@ func (s *Server) storeStats() (sim.StoreStats, bool) {
 	}
 	s.stats, s.statsAt = st, time.Now()
 	return st, true
+}
+
+// MembersResponse answers GET /v1/members.
+type MembersResponse struct {
+	Members []Member `json:"members"`
+}
+
+// handleMembers serves the fleet membership view. A daemon running without
+// -advertise (no registry attached) answers 404 — the signal a Pool reads
+// as "this fleet does not do dynamic membership" rather than an error.
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	if s.members == nil {
+		http.Error(w, "serve: membership not configured on this daemon (start it with -advertise)", http.StatusNotFound)
+		return
+	}
+	members := s.members()
+	if members == nil {
+		members = []Member{}
+	}
+	writeJSON(w, MembersResponse{Members: members})
+}
+
+// handleProm serves the Prometheus text exposition: runner counters, the
+// admission gate's depth and per-client breakdown, store size, and fleet
+// membership. Ungated and allocation-light, so a scrape never competes
+// with submissions for a slot.
+func (s *Server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := &promWriter{w: w}
+	for _, c := range s.runner.Metrics().Counters() {
+		p.counter("dkip_runner_"+c.Name+"_total",
+			"Cumulative runner "+c.Name+" count since daemon start.", float64(c.Value))
+	}
+	gs := s.gate.snapshot()
+	p.gauge("dkip_gate_capacity", "Admission gate slot capacity.", float64(gs.Capacity))
+	p.gauge("dkip_gate_inflight", "Requests currently holding a gate slot.", float64(gs.Inflight))
+	p.gauge("dkip_gate_waiting", "Requests queued for a gate slot.", float64(gs.Waiting))
+	if len(gs.PerClient) > 0 {
+		clients := sortedLabelKeys(gs.PerClient)
+		p.family("dkip_client_inflight", "Gate slots held, by client identity.", "gauge")
+		for _, c := range clients {
+			p.sample("dkip_client_inflight", [][2]string{{"client", c}}, float64(gs.PerClient[c][0]))
+		}
+		p.family("dkip_client_waiting", "Requests queued at the gate, by client identity.", "gauge")
+		for _, c := range clients {
+			p.sample("dkip_client_waiting", [][2]string{{"client", c}}, float64(gs.PerClient[c][1]))
+		}
+	}
+	if s.store != nil {
+		if st, ok := s.storeStats(); ok {
+			p.gauge("dkip_store_entries", "Results persisted in the shared store.", float64(st.Entries))
+			p.gauge("dkip_store_checkpoints", "Checkpoint blobs persisted in the shared store.", float64(st.Checkpoints))
+		}
+	}
+	if s.members != nil {
+		p.gauge("dkip_fleet_members", "Live fleet members holding a current lease.", float64(len(s.members())))
+	}
 }
 
 // handleHealthz answers the fleet liveness probe. It deliberately touches

@@ -67,6 +67,34 @@ func (m Metrics) Plus(o Metrics) Metrics {
 	return m
 }
 
+// Counter is one named Metrics field: the snapshot hook exporters consume.
+type Counter struct {
+	// Name is the field's snake_case wire name, matching the JSON encoding.
+	Name string
+	// Value is the count at snapshot time.
+	Value uint64
+}
+
+// Counters flattens the snapshot into named (name, value) pairs, in
+// declaration order. It is the single source of truth for metric exporters
+// (dkipd's Prometheus /metrics): a counter added to Metrics shows up in
+// every exposition without the serve layer naming it a second time.
+func (m Metrics) Counters() []Counter {
+	return []Counter{
+		{"requested", m.Requested},
+		{"simulated", m.Simulated},
+		{"deduped", m.Deduped},
+		{"cache_hits", m.CacheHits},
+		{"disk_hits", m.DiskHits},
+		{"disk_writes", m.DiskWrites},
+		{"skipped", m.Skipped},
+		{"uncacheable", m.Uncacheable},
+		{"checkpoint_hits", m.CheckpointHits},
+		{"checkpoint_misses", m.CheckpointMisses},
+		{"checkpoint_writes", m.CheckpointWrites},
+	}
+}
+
 // Option configures a Runner.
 type Option func(*Runner)
 

@@ -96,6 +96,19 @@ func (s *Store) Get(key string) (*Result, bool) {
 	return decodeEntryFile(s.path(key), key)
 }
 
+// Has reports whether the store holds an entry file for the content key,
+// without decoding it — the cheap existence probe behind the serve layer's
+// progress streams, where thousands of keys may be polled per tick. A
+// corrupt entry still reads as present here; consumers that actually load
+// the record (Get) keep the validity checks.
+func (s *Store) Has(key string) bool {
+	if len(key) < 2 {
+		return false
+	}
+	_, err := os.Stat(s.path(key))
+	return err == nil
+}
+
 // decodeEntryFile reads and validates one entry file, expecting it to hold
 // the given content key. Shared by Get (which derives the path from the key)
 // and Walk (which has the path in hand and derives the key from the file
@@ -279,6 +292,50 @@ func (s *Store) GetBlob(kind, key string) ([]byte, bool) {
 		return nil, false
 	}
 	return data, true
+}
+
+// WalkBlobs streams every blob of one kind to fn as (key, data) pairs, in
+// ascending key order for correctly filed blobs (blob files are named by
+// key and WalkDir traverses lexically). A missing kind directory walks zero
+// blobs, not an error — the natural state of a store that never held that
+// kind. A non-nil error from fn aborts the walk and is returned. Unreadable
+// blob files are silently skipped, matching Get's corruption-is-a-miss
+// stance.
+func (s *Store) WalkBlobs(kind string, fn func(key string, data []byte) error) error {
+	root := filepath.Join(s.dir, kind)
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return filepath.SkipAll
+			}
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(d.Name(), ".bin") {
+			return nil
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return nil
+		}
+		return fn(strings.TrimSuffix(d.Name(), ".bin"), data)
+	})
+	if err != nil {
+		return fmt.Errorf("sim: store walk blobs: %w", err)
+	}
+	return nil
+}
+
+// DeleteBlob removes one blob; deleting an absent blob is a no-op, so
+// concurrent removers (two daemons expiring the same stale membership
+// lease) never fail each other.
+func (s *Store) DeleteBlob(kind, key string) error {
+	if len(key) < 2 || kind == "" {
+		return fmt.Errorf("sim: store delete blob: bad kind/key %q/%q", kind, key)
+	}
+	if err := os.Remove(s.blobPath(kind, key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("sim: store delete blob: %w", err)
+	}
+	return nil
 }
 
 // PutBlob persists a binary blob under its content key, atomically (temp

@@ -422,3 +422,106 @@ func TestStoreBlobRoundTrip(t *testing.T) {
 		t.Errorf("Stats.Checkpoints = %d, want 1", st.Checkpoints)
 	}
 }
+
+// TestStoreWalkBlobs covers the enumeration the membership registry is
+// built on: every blob of a kind is visited exactly once, other kinds are
+// invisible, and a kind that was never written walks zero entries.
+func TestStoreWalkBlobs(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		strings.Repeat("aa", 8): "lease-a",
+		strings.Repeat("bb", 8): "lease-b",
+		strings.Repeat("cc", 8): "lease-c",
+	}
+	for k, v := range want {
+		if err := s.PutBlob("members", k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.PutBlob("checkpoints", strings.Repeat("dd", 8), []byte("ckpt")); err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]string{}
+	err = s.WalkBlobs("members", func(key string, data []byte) error {
+		if _, dup := got[key]; dup {
+			t.Errorf("key %s visited twice", key)
+		}
+		got[key] = string(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("walked %d blobs, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("blob %s = %q, want %q", k, got[k], v)
+		}
+	}
+
+	visits := 0
+	if err := s.WalkBlobs("never-written", func(string, []byte) error { visits++; return nil }); err != nil {
+		t.Fatalf("walking an absent kind: %v", err)
+	}
+	if visits != 0 {
+		t.Errorf("absent kind visited %d blobs", visits)
+	}
+}
+
+// TestStoreDeleteBlob: deletion removes the blob, is idempotent, and leaves
+// siblings alone — the lease-withdrawal and tombstone-GC primitive.
+func TestStoreDeleteBlob(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := strings.Repeat("aa", 8), strings.Repeat("bb", 8)
+	for _, k := range []string{ka, kb} {
+		if err := s.PutBlob("members", k, []byte("lease")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.DeleteBlob("members", ka); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetBlob("members", ka); ok {
+		t.Fatal("deleted blob still served")
+	}
+	if _, ok := s.GetBlob("members", kb); !ok {
+		t.Fatal("sibling blob vanished with the deletion")
+	}
+	if err := s.DeleteBlob("members", ka); err != nil {
+		t.Fatalf("second delete of the same blob: %v", err)
+	}
+	if err := s.DeleteBlob("members", "zz"); err != nil {
+		t.Fatalf("deleting a never-written blob: %v", err)
+	}
+}
+
+// TestStoreHas: presence checks without decoding, the primitive the
+// /v1/progress endpoint polls with.
+func TestStoreHas(t *testing.T) {
+	s, err := OpenStore(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Repeat("ab", 16)
+	if s.Has(key) {
+		t.Fatal("empty store reports a key present")
+	}
+	if err := s.Put(fakeResult(key)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(key) {
+		t.Fatal("stored key reported absent")
+	}
+	if s.Has("x") || s.Has("") {
+		t.Fatal("degenerate key reported present")
+	}
+}
