@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"dkip/internal/core"
@@ -77,8 +78,8 @@ func main() {
 	}
 	var totalInstrs uint64
 	var totalElapsed time.Duration
-	for name, spec := range specs {
-		res, err := measureArch(spec, *iters)
+	for _, name := range measureOrder(specs) {
+		res, err := measureArch(specs[name], *iters)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", name, err)
 			os.Exit(1)
@@ -157,4 +158,18 @@ func writeSnapshot(path, label string, snap snapshot) error {
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
+}
+
+// measureOrder returns the spec names in sorted order. Measuring in map
+// iteration order would decide both the stderr log order and which arch
+// warms the machine up for the other, making back-to-back snapshots subtly
+// incomparable — the unsorted-map-feeding-output pattern dkipvet's
+// determinism analyzer flags.
+func measureOrder(specs map[string]sim.RunSpec) []string {
+	names := make([]string, 0, len(specs))
+	for name := range specs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"sort"
+	"testing"
+
+	"dkip/internal/core"
+	"dkip/internal/ooo"
+	"dkip/internal/sim"
+)
+
+// Measurement order is sorted by arch name, never map iteration order —
+// the determinism finding dkipvet pinned on the bench harness.
+func TestMeasureOrderSorted(t *testing.T) {
+	specs := map[string]sim.RunSpec{
+		"ooo":  sim.OOOSpec("mcf", ooo.R10K64(), 10, 10),
+		"dkip": sim.DKIPSpec("swim", core.Config{}, 10, 10),
+		"zeta": sim.DKIPSpec("swim", core.Config{}, 10, 10),
+	}
+	for i := 0; i < 16; i++ {
+		got := measureOrder(specs)
+		if !sort.StringsAreSorted(got) || len(got) != len(specs) {
+			t.Fatalf("measureOrder = %v, want all %d names sorted", got, len(specs))
+		}
+	}
+}

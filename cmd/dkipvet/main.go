@@ -1,0 +1,195 @@
+// Command dkipvet is the repo's static-analysis multichecker: it runs the
+// internal/lint suite (determinism, hotalloc, ctxhygiene, wirecheck) over
+// the packages named on the command line and exits nonzero on any finding.
+//
+// Standalone (what CI runs):
+//
+//	go run ./cmd/dkipvet ./...
+//
+// As a go vet tool (best-effort unitchecker protocol):
+//
+//	go vet -vettool=$(which dkipvet) ./...
+//
+// Exposition mode, sharing serve.LintExpositionAll with cmd/promlint:
+//
+//	curl -fsS http://localhost:8321/metrics | go run ./cmd/dkipvet promtext
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"dkip/internal/lint"
+	"dkip/internal/serve"
+)
+
+func main() {
+	args := os.Args[1:]
+	// go vet probes its tool with -V=full and -flags before handing it a
+	// .cfg file; -flags expects a JSON list of tool flags (we have none).
+	for _, a := range args {
+		switch a {
+		case "-V=full", "-V":
+			// The go command derives a cache key from this line and
+			// requires a trailing buildID field; hash the binary itself
+			// so the key changes when dkipvet does.
+			h := sha256.New()
+			if f, err := os.Open(os.Args[0]); err == nil {
+				_, _ = io.Copy(h, f)
+				f.Close()
+			}
+			fmt.Printf("dkipvet version devel buildID=%02x\n", h.Sum(nil))
+			return
+		case "-flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) > 0 && args[0] == "promtext" {
+		os.Exit(promtext(os.Stdin))
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// standalone loads packages through the go command and runs the full suite.
+func standalone(patterns []string) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+		return 2
+	}
+	pkgs, fset, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+		return 2
+	}
+	diags := lint.Run(pkgs, fset, lint.All())
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dkipvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// promtext lints a Prometheus exposition from r, printing one line per
+// finding and a trailing count — the same gate cmd/promlint runs in CI.
+func promtext(r io.Reader) int {
+	diags, err := serve.LintExpositionAll(r)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: promtext: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Printf("stdin:%d: %s\n", d.Line, d.Msg)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dkipvet: promtext: %d problem(s)\n", len(diags))
+		return 1
+	}
+	fmt.Println("dkipvet: promtext: exposition ok")
+	return 0
+}
+
+// vetConfig is the subset of the cmd/vet .cfg file dkipvet consumes when
+// run under `go vet -vettool`.
+type vetConfig struct {
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	VetxOnly    bool   // dependency unit: produce facts only, no diagnostics
+	VetxOutput  string // where go vet expects the (empty) facts file
+}
+
+// vetUnit analyzes one compilation unit the way golang.org/x/tools'
+// unitchecker does: type-check the unit's files against the export data the
+// go command already compiled for its imports. Cross-package state is
+// limited to the unit, so hotalloc/wirecheck see one package at a time
+// here; the standalone mode (and CI) is the authoritative whole-repo run.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The suite exports no cross-unit facts, but go vet still expects the
+	// facts file to appear for every unit it schedules.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency unit: diagnostics belong to the named packages
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "gc", lookup)}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dkipvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg := &lint.Package{Path: cfg.ImportPath, Files: files, Pkg: tpkg, Info: info, Fset: fset}
+	diags := lint.Run([]*lint.Package{pkg}, fset, lint.All())
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -6,9 +6,10 @@
 //
 // It exits 0 when the exposition parses cleanly (well-formed HELP/TYPE
 // comments, legal metric and label names, escaped label values, parseable
-// sample values, no duplicate or interleaved families) and 1 with a
-// line-numbered diagnostic otherwise. The checks live in
-// internal/serve.LintExposition, shared with the package's own tests.
+// sample values, no duplicate or interleaved families) and 1 with one
+// line-numbered diagnostic per problem otherwise. The checks live in
+// internal/serve.LintExpositionAll, shared with the package's own tests and
+// with `dkipvet promtext`.
 package main
 
 import (
@@ -19,8 +20,16 @@ import (
 )
 
 func main() {
-	if err := serve.LintExposition(os.Stdin); err != nil {
+	diags, err := serve.LintExpositionAll(os.Stdin)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "promlint: %s\n", d)
+		}
+		fmt.Fprintf(os.Stderr, "promlint: %d problem(s)\n", len(diags))
 		os.Exit(1)
 	}
 	fmt.Println("promlint: exposition ok")

@@ -34,6 +34,8 @@ func NewLLRF(banks, bankSize int, ideal bool) *LLRF {
 }
 
 // NewCycle resets per-cycle port state.
+//
+//dkip:hotpath
 func (r *LLRF) NewCycle(cycle int64) {
 	r.cycle = cycle
 	r.writtenBanks = 0
@@ -41,6 +43,8 @@ func (r *LLRF) NewCycle(cycle int64) {
 
 // Alloc reserves one register for a READY operand, returning the bank used,
 // or -1 when every bank's free list is empty (the caller must stall Analyze).
+//
+//dkip:hotpath
 func (r *LLRF) Alloc() int {
 	if r.ideal {
 		r.Allocated++
@@ -68,6 +72,8 @@ func (r *LLRF) Alloc() int {
 // Read frees the register in the given bank as its value moves to the Memory
 // Processor. It reports whether the read conflicted with a write to the same
 // bank this cycle, which costs the extraction one cycle.
+//
+//dkip:hotpath
 func (r *LLRF) Read(bank int) (conflict bool) {
 	if r.Allocated <= 0 {
 		panic("core: LLRF read with no allocated registers")
@@ -125,6 +131,8 @@ func (l *LLIB) Len() int { return l.fifo.Len() }
 func (l *LLIB) Full() bool { return l.fifo.Len() >= l.cap }
 
 // Push appends an instruction (already stamped QLLIB by the caller).
+//
+//dkip:hotpath
 func (l *LLIB) Push(seq uint64) {
 	if l.Full() {
 		panic("core: push into full LLIB")
@@ -136,6 +144,8 @@ func (l *LLIB) Push(seq uint64) {
 }
 
 // Head returns the oldest resident instruction.
+//
+//dkip:hotpath
 func (l *LLIB) Head() (uint64, bool) {
 	if l.fifo.Len() == 0 {
 		return 0, false
@@ -144,6 +154,8 @@ func (l *LLIB) Head() (uint64, bool) {
 }
 
 // Pop removes the head.
+//
+//dkip:hotpath
 func (l *LLIB) Pop() {
 	l.fifo.PopFront()
 }
@@ -153,6 +165,8 @@ func (l *LLIB) Pop() {
 // has not yet arrived in the Address Processor's FIFO. Dependences on other
 // low-locality instructions need no check — the MP's Future File (reservation
 // stations) will capture those values.
+//
+//dkip:hotpath
 func (l *LLIB) HeadExtractable() bool {
 	seq, ok := l.Head()
 	if !ok {

@@ -138,6 +138,8 @@ func (p *Processor) LLBVCount() int { return p.llbvCount }
 
 // Run simulates until warmup+measure instructions have committed, returning
 // statistics for the measurement phase only.
+//
+//dkip:hotpath
 func (p *Processor) Run(g trace.Generator, warmup, measure uint64) *pipeline.Stats {
 	if measure == 0 {
 		panic("core: Run with zero measurement length")
@@ -557,6 +559,7 @@ func (p *Processor) takeCheckpoint(seq uint64) {
 		n := copy(p.ckptSeqs, p.ckptSeqs[drop:])
 		p.ckptSeqs = p.ckptSeqs[:n]
 	}
+	//dkip:alloc-ok bounded by MaxCheckpoints and reused after the warmup ramp
 	p.ckptSeqs = append(p.ckptSeqs, seq)
 	p.ckptDepth = len(p.ckptSeqs)
 	if p.ckptDepth > p.maxCkptDepth {
@@ -807,6 +810,7 @@ func (p *Processor) renameStage() {
 		for i, src := range [2]isa.Reg{fe.in.Src1, fe.in.Src2} {
 			if prod, busy := p.sb.Lookup(src); busy {
 				pe := p.win.Get(prod)
+				//dkip:alloc-ok consumer lists are pre-capped by Window.Alloc; growth is warmup-only
 				pe.Consumers = append(pe.Consumers, seq)
 				prods[i] = prod
 				pending++

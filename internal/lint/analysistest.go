@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// This file is the suite's stand-in for golang.org/x/tools' analysistest:
+// golden packages under testdata/src/<analyzer>/... carry `// want "re"`
+// comments on the lines where a diagnostic must fire, and CheckWant runs
+// analyzers over them and diffs findings against expectations. The golden
+// packages are real, compilable Go — the loader feeds their directories to
+// `go list` explicitly, which resolves packages under testdata even though
+// ./... skips them.
+
+// wantRe matches a `// want "regexp"` or `// want `regexp“ expectation.
+var wantRe = regexp.MustCompile("// want (\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`)")
+
+// expectation is one `// want` comment: a diagnostic matching re must be
+// reported on this exact file:line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// CheckWant loads the golden packages rooted at the given testdata-relative
+// directories (e.g. "determinism/a"), runs the analyzers over all of them
+// in one pass — cross-package analyzers see the full set — and returns one
+// error message per mismatch: a diagnostic no expectation matches, or an
+// expectation no diagnostic hit.
+func CheckWant(testdataDir string, dirs []string, analyzers []*Analyzer) []string {
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = "./" + filepath.ToSlash(filepath.Join("src", d))
+	}
+	pkgs, fset, err := Load(testdataDir, patterns...)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pat := m[2]
+					if pat == "" {
+						pat = m[3]
+					} else {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return []string{fmt.Sprintf("%s: bad want pattern %q: %v", fset.Position(c.Pos()), pat, err)}
+					}
+					pos := fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	var problems []string
+	for _, d := range Run(pkgs, fset, analyzers) {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re))
+		}
+	}
+	return problems
+}

@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxHygiene enforces deadline hygiene in the daemon-facing packages
+// (serve, sim): no bare time.Sleep (a kill-a-daemon drill must be able to
+// cancel every wait — use a timer/ticker in a select with ctx.Done), no
+// outbound HTTP call without a context to carry a deadline, and no
+// streaming loop that can keep encoding onto a connection without arming a
+// write deadline first (the wedged-scraper bug PR 7 fixed).
+var CtxHygiene = &Analyzer{
+	Name: "ctxhygiene",
+	Doc:  "bare sleeps, context-free HTTP, and undeadlined stream writes in serve/sim",
+	New:  func() Instance { return &ctxHygiene{} },
+}
+
+// hygieneScoped is the set of packages (by directory name) the analyzer
+// applies to: the ones that hold connections and run under fleet drills.
+var hygieneScoped = map[string]bool{"serve": true, "sim": true}
+
+type ctxHygiene struct{}
+
+func (*ctxHygiene) Finish(Reporter) {}
+
+func (c *ctxHygiene) Package(pass *Pass) {
+	if !hygieneScoped[pkgBase(pass.Pkg.Path())] {
+		return
+	}
+	c.checkCalls(pass)
+	c.checkStreams(pass)
+}
+
+// checkCalls flags bare sleeps and context-free outbound HTTP.
+func (c *ctxHygiene) checkCalls(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isPkgFunc(pass.Info, call, "time", "Sleep"):
+				pass.Report(call.Pos(), "bare time.Sleep: use a timer/ticker in a select with ctx.Done so shutdown can interrupt the wait")
+			case isPkgFunc(pass.Info, call, "net/http", "Get", "Post", "Head", "PostForm"):
+				pass.Report(call.Pos(), "outbound HTTP without a context deadline: build the request with http.NewRequestWithContext")
+			case isMethod(pass.Info, call, "net/http", "Client", "Get"),
+				isMethod(pass.Info, call, "net/http", "Client", "Post"),
+				isMethod(pass.Info, call, "net/http", "Client", "Head"),
+				isMethod(pass.Info, call, "net/http", "Client", "PostForm"):
+				pass.Report(call.Pos(), "outbound HTTP without a context deadline: build the request with http.NewRequestWithContext")
+			case isPkgFunc(pass.Info, call, "net/http", "NewRequest"):
+				pass.Report(call.Pos(), "http.NewRequest carries no context: use http.NewRequestWithContext")
+			}
+			return true
+		})
+	}
+}
+
+// streamFacts summarizes what a function (or closure) body reaches: a JSON
+// Encode onto a stream, and a SetWriteDeadline arming the connection.
+type streamFacts struct {
+	encodes  bool
+	deadline bool
+}
+
+// checkStreams finds loops that can keep calling (*json.Encoder).Encode
+// across iterations without a SetWriteDeadline reachable in the same body.
+// An Encode whose statement is immediately followed by return/break is a
+// final write, not a stream, and is exempt — the wait-loop in handleGet
+// writes once and leaves.
+func (c *ctxHygiene) checkStreams(pass *Pass) {
+	decls := c.declFacts(pass)
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		closures := localClosures(pass, fd.Body)
+		closureFacts := make(map[types.Object]streamFacts, len(closures))
+		for obj, lit := range closures {
+			closureFacts[obj] = c.bodyFacts(pass, lit.Body, decls, nil)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body = l.Body
+			case *ast.RangeStmt:
+				body = l.Body
+			default:
+				return true
+			}
+			facts := c.bodyFacts(pass, body, decls, closureFacts)
+			if !facts.encodes || facts.deadline {
+				return true
+			}
+			if pos := c.continuingEncode(pass, body, decls, closureFacts); pos.IsValid() {
+				pass.Report(pos, "streaming encode in a loop without SetWriteDeadline: a reader that stops draining pins this goroutine for the connection's lifetime")
+			}
+			return true
+		})
+	})
+}
+
+// declFacts computes streamFacts for every package-level function, with
+// intra-package propagation to a fixpoint so a helper like writeJSON counts
+// as an encoder at its call sites.
+func (c *ctxHygiene) declFacts(pass *Pass) map[*types.Func]streamFacts {
+	facts := make(map[*types.Func]streamFacts)
+	calls := make(map[*types.Func][]*types.Func)
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		f := streamFacts{}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case isJSONEncode(pass.Info, call):
+				f.encodes = true
+			case isSetWriteDeadline(call):
+				f.deadline = true
+			default:
+				if callee := calleeOf(pass.Info, call); callee != nil && callee.Pkg() == pass.Pkg {
+					calls[fn] = append(calls[fn], callee)
+				}
+			}
+			return true
+		})
+		facts[fn] = f
+	})
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			f := facts[fn]
+			for _, callee := range callees {
+				cf := facts[callee]
+				if (cf.encodes && !f.encodes) || (cf.deadline && !f.deadline) {
+					f.encodes = f.encodes || cf.encodes
+					f.deadline = f.deadline || cf.deadline
+					facts[fn] = f
+					changed = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// bodyFacts scans one statement body, folding in the summaries of called
+// package functions and local closures.
+func (c *ctxHygiene) bodyFacts(pass *Pass, body *ast.BlockStmt, decls map[*types.Func]streamFacts, closureFacts map[types.Object]streamFacts) streamFacts {
+	var f streamFacts
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		cf := c.callFacts(pass, call, decls, closureFacts)
+		f.encodes = f.encodes || cf.encodes
+		f.deadline = f.deadline || cf.deadline
+		return true
+	})
+	return f
+}
+
+// callFacts resolves one call to its stream summary.
+func (c *ctxHygiene) callFacts(pass *Pass, call *ast.CallExpr, decls map[*types.Func]streamFacts, closureFacts map[types.Object]streamFacts) streamFacts {
+	if isJSONEncode(pass.Info, call) {
+		return streamFacts{encodes: true}
+	}
+	if isSetWriteDeadline(call) {
+		return streamFacts{deadline: true}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			if f, ok := closureFacts[obj]; ok {
+				return f
+			}
+		}
+	}
+	if fn := calleeOf(pass.Info, call); fn != nil {
+		return decls[fn]
+	}
+	return streamFacts{}
+}
+
+// continuingEncode returns the position of the first encode-reaching call in
+// body whose statement lets the loop continue — i.e. is not a ReturnStmt
+// and is not immediately followed by return or break in its statement list.
+func (c *ctxHygiene) continuingEncode(pass *Pass, body *ast.BlockStmt, decls map[*types.Func]streamFacts, closureFacts map[types.Object]streamFacts) token.Pos {
+	var found token.Pos
+	var scanList func(list []ast.Stmt)
+	// encodeIn reports whether the statement contains an encode-reaching
+	// call anywhere (conditions, init clauses, nested blocks included).
+	encodeIn := func(s ast.Stmt) bool {
+		yes := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && c.callFacts(pass, call, decls, closureFacts).encodes {
+				yes = true
+			}
+			return !yes
+		})
+		return yes
+	}
+	terminal := func(s ast.Stmt) bool {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			return s.Tok == token.BREAK || s.Tok == token.GOTO
+		}
+		return false
+	}
+	scanList = func(list []ast.Stmt) {
+		for i, s := range list {
+			if found.IsValid() {
+				return
+			}
+			// Descend into nested statement lists first so the innermost
+			// context decides whether the write is final.
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				scanList(s.List)
+				continue
+			case *ast.IfStmt:
+				scanList(s.Body.List)
+				if els, ok := s.Else.(*ast.BlockStmt); ok {
+					scanList(els.List)
+				}
+				// The condition/init themselves can encode (if err :=
+				// enc.Encode(v); ...): treat like a plain statement below.
+				cond := false
+				if s.Init != nil && encodeIn(s.Init) {
+					cond = true
+				}
+				ast.Inspect(s.Cond, func(n ast.Node) bool {
+					if call, ok := n.(*ast.CallExpr); ok && c.callFacts(pass, call, decls, closureFacts).encodes {
+						cond = true
+					}
+					return true
+				})
+				if cond && !(i+1 < len(list) && terminal(list[i+1])) && !blockTerminates(s.Body) {
+					found = s.Pos()
+				}
+				continue
+			case *ast.ForStmt:
+				scanList(s.Body.List)
+				continue
+			case *ast.RangeStmt:
+				scanList(s.Body.List)
+				continue
+			case *ast.SwitchStmt:
+				for _, cc := range s.Body.List {
+					scanList(cc.(*ast.CaseClause).Body)
+				}
+				continue
+			case *ast.TypeSwitchStmt:
+				for _, cc := range s.Body.List {
+					scanList(cc.(*ast.CaseClause).Body)
+				}
+				continue
+			case *ast.SelectStmt:
+				for _, cc := range s.Body.List {
+					scanList(cc.(*ast.CommClause).Body)
+				}
+				continue
+			}
+			if !encodeIn(s) {
+				continue
+			}
+			if i+1 < len(list) && terminal(list[i+1]) {
+				continue // final write: encode, then leave the loop
+			}
+			found = s.Pos()
+		}
+	}
+	scanList(body.List)
+	return found
+}
+
+// blockTerminates reports whether every path through the block ends in
+// return/break — `if err := write(); err != nil { return }` style guards
+// do not make the write final, but `write(); return` bodies do.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.GOTO
+	}
+	return false
+}
+
+// isJSONEncode matches (*encoding/json.Encoder).Encode calls.
+func isJSONEncode(info *types.Info, call *ast.CallExpr) bool {
+	return isMethod(info, call, "encoding/json", "Encoder", "Encode")
+}
+
+// isSetWriteDeadline matches any SetWriteDeadline method call — the
+// ResponseController, net.Conn, and *net.TCPConn flavors alike.
+func isSetWriteDeadline(call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "SetWriteDeadline"
+}
+
+// localClosures maps local objects defined as `name := func(...){...}` to
+// their function literals, so calls through them resolve in loop scans.
+func localClosures(pass *Pass, body *ast.BlockStmt) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			if id, ok := as.Lhs[i].(*ast.Ident); ok {
+				if obj := pass.Info.Defs[id]; obj != nil {
+					out[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

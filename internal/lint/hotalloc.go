@@ -1,0 +1,376 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotAlloc enforces the PR 5 invariant statically: functions annotated
+// //dkip:hotpath — the per-cycle loops, heaps, rings, and cache lookups —
+// and every intra-module function they can reach must not contain
+// allocating constructs. The dynamic TestSteadyStateAllocationFree gate
+// catches regressions at runtime; this analyzer catches them in review,
+// with //dkip:coldpath excluding slow paths the steady state never takes
+// and //dkip:alloc-ok suppressing individual amortized-growth sites the
+// dynamic gate already bounds.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "allocating constructs reachable from //dkip:hotpath functions",
+	New:  func() Instance { return &hotAlloc{summaries: make(map[*types.Func]*funcSummary)} },
+}
+
+// allocSite is one allocating construct inside a function body.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// funcSummary is the per-function unit of the cross-package walk: the
+// function's own allocation sites (suppressions already applied) and its
+// statically resolvable module-internal callees.
+type funcSummary struct {
+	fn      *types.Func
+	hotpath bool
+	cold    bool
+	sites   []allocSite
+	callees []*types.Func
+}
+
+type hotAlloc struct {
+	summaries map[*types.Func]*funcSummary
+	roots     []*types.Func
+}
+
+func (h *hotAlloc) Package(pass *Pass) {
+	okLines := allocOKLines(pass.Fset, pass.Files)
+	eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		s := &funcSummary{
+			fn:      fn,
+			hotpath: funcDirective(fd, dirHotpath),
+			cold:    funcDirective(fd, dirColdpath),
+		}
+		if !s.cold {
+			h.scanBody(pass, fd.Body, okLines, s)
+		}
+		h.summaries[fn] = s
+		if s.hotpath {
+			h.roots = append(h.roots, fn)
+		}
+	})
+}
+
+// scanBody records body's allocation sites and callees into s. Subtrees
+// under a panic(...) call are skipped: a panicking path never contributes
+// to steady-state allocation, and the idiomatic panic(fmt.Sprintf(...))
+// would otherwise flag every invariant check in the pipeline.
+func (h *hotAlloc) scanBody(pass *Pass, body *ast.BlockStmt, okLines map[int]bool, s *funcSummary) {
+	report := func(pos token.Pos, desc string) {
+		if okLines[pass.Fset.Position(pos).Line] {
+			return
+		}
+		s.sites = append(s.sites, allocSite{pos, desc})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			return h.scanCall(pass, n, report, s)
+		case *ast.FuncLit:
+			if escapingClosure(pass, body, n) {
+				report(n.Pos(), "escaping closure (captures heap-allocate)")
+			}
+			return true // scan the closure body in place: it runs on the hot path
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					report(n.Pos(), "&composite literal")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				if tv, ok := pass.Info.Types[n]; ok {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation")
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// scanCall classifies one call inside a hot-candidate body. The return
+// value tells ast.Inspect whether to descend into the call's children.
+func (h *hotAlloc) scanCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string), s *funcSummary) bool {
+	// Builtins and conversions first: they have no *types.Func.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		switch obj := pass.Info.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "make":
+				report(call.Pos(), "make")
+			case "new":
+				report(call.Pos(), "new")
+			case "append":
+				report(call.Pos(), "append (may grow)")
+			case "panic":
+				return false // panic path: never steady-state
+			}
+			return true
+		case *types.TypeName:
+			_ = obj
+			if len(call.Args) == 1 {
+				if convAllocates(pass, call) {
+					report(call.Pos(), "converting between string and byte/rune slice")
+				}
+			}
+			return true
+		}
+	}
+	fn := calleeOf(pass.Info, call)
+	if fn != nil && fn.Pkg() != nil {
+		if fn.Pkg().Path() == "fmt" {
+			report(call.Pos(), "call to fmt."+fn.Name())
+			return true
+		}
+		if isModulePath(fn.Pkg().Path()) {
+			s.callees = append(s.callees, fn)
+		}
+	}
+	// Arguments boxed into interface parameters allocate — including at
+	// interface-method call sites (the container/heap Push(any) shape),
+	// where there is no static callee but the method signature is known.
+	if sig := callSignature(pass, call, fn); sig != nil {
+		h.checkBoxing(pass, call, sig, report)
+	}
+	return true
+}
+
+// callSignature returns the called function's signature when one is
+// statically known: from the resolved callee, or from the interface
+// method's declared type.
+func callSignature(pass *Pass, call *ast.CallExpr, fn *types.Func) *types.Signature {
+	if fn != nil {
+		sig, _ := fn.Type().(*types.Signature)
+		return sig
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pass.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			sig, _ := s.Type().(*types.Signature)
+			return sig
+		}
+	}
+	return nil
+}
+
+// checkBoxing flags concrete non-pointer arguments passed to interface
+// parameters — the container/heap mistake PR 5 removed from the issue
+// queues.
+func (h *hotAlloc) checkBoxing(pass *Pass, call *ast.CallExpr, sig *types.Signature, report func(token.Pos, string)) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			st, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = st.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		tv, ok := pass.Info.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		at := tv.Type
+		if types.IsInterface(at) || tv.IsNil() {
+			continue
+		}
+		if _, isPtr := at.Underlying().(*types.Pointer); isPtr {
+			continue // pointers box without allocating the pointee
+		}
+		if tv.Value != nil {
+			continue // untyped constants may be preallocated/staticized
+		}
+		report(arg.Pos(), "interface boxing of "+at.String())
+	}
+}
+
+// convAllocates reports whether the conversion call copies memory:
+// string <-> []byte/[]rune in either direction.
+func convAllocates(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	dst := tv.Type.Underlying()
+	src := types.Type(nil)
+	if atv, ok := pass.Info.Types[call.Args[0]]; ok {
+		src = atv.Type.Underlying()
+	}
+	isStr := func(t types.Type) bool {
+		b, ok := t.(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isByteRuneSlice := func(t types.Type) bool {
+		sl, ok := t.(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := sl.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune)
+	}
+	if src == nil {
+		return false
+	}
+	return (isStr(dst) && isByteRuneSlice(src)) || (isByteRuneSlice(dst) && isStr(src))
+}
+
+// escapingClosure reports whether lit escapes its enclosing function. A
+// closure bound to a local variable that is only ever called (the
+// `consider := func(...)` pattern in advanceCycle) stays on the stack and
+// is allocation-free; anything passed, returned, or stored escapes.
+func escapingClosure(pass *Pass, body *ast.BlockStmt, lit *ast.FuncLit) bool {
+	// Find the closure's immediate context.
+	path := nodePath(body, lit)
+	if len(path) < 2 {
+		return true
+	}
+	parent := path[len(path)-2]
+	switch p := parent.(type) {
+	case *ast.CallExpr:
+		if p.Fun == lit {
+			return false // immediately invoked
+		}
+		return true // passed as an argument
+	case *ast.AssignStmt:
+		// f := func(...){...} — non-escaping iff every use of f is a call.
+		if p.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range p.Rhs {
+			if rhs != ast.Expr(lit) || i >= len(p.Lhs) {
+				continue
+			}
+			id, ok := p.Lhs[i].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				return true
+			}
+			return !usedOnlyAsCall(pass, body, obj)
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// usedOnlyAsCall reports whether every use of obj inside body is the Fun of
+// a call expression.
+func usedOnlyAsCall(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	only := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			if id, ok := n.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+				only = false
+			}
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+			// Visit arguments but not the Fun ident.
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+						only = false
+					}
+					return true
+				})
+			}
+			return false
+		}
+		return true
+	})
+	return only
+}
+
+// nodePath returns the ancestor chain from root to target (inclusive), or
+// nil if target is not under root.
+func nodePath(root ast.Node, target ast.Node) []ast.Node {
+	var stack, found []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if n == target {
+			found = append([]ast.Node(nil), stack...)
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func isModulePath(path string) bool {
+	return path == "dkip" || hasPrefix(path, "dkip/")
+}
+
+// Finish walks the call graph from every //dkip:hotpath root and reports
+// each allocation site reachable without passing through //dkip:coldpath.
+func (h *hotAlloc) Finish(report Reporter) {
+	type visit struct {
+		fn   *types.Func
+		root *types.Func
+	}
+	seen := make(map[*types.Func]bool)
+	reported := make(map[token.Pos]bool)
+	sort.Slice(h.roots, func(i, j int) bool { return h.roots[i].FullName() < h.roots[j].FullName() })
+	var queue []visit
+	for _, r := range h.roots {
+		queue = append(queue, visit{r, r})
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if seen[v.fn] {
+			continue
+		}
+		seen[v.fn] = true
+		s := h.summaries[v.fn]
+		if s == nil || s.cold {
+			continue
+		}
+		for _, site := range s.sites {
+			if reported[site.pos] {
+				continue
+			}
+			reported[site.pos] = true
+			report(site.pos, "%s in %s, reachable from //dkip:hotpath %s", site.desc, v.fn.Name(), v.root.Name())
+		}
+		for _, c := range s.callees {
+			if !seen[c] {
+				queue = append(queue, visit{c, v.root})
+			}
+		}
+	}
+}

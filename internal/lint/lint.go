@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one check. New builds a fresh instance per run so
+// cross-package analyzers (hotalloc, wirecheck) can accumulate state over
+// every package before reporting from Finish.
+type Analyzer struct {
+	Name string
+	Doc  string
+	New  func() Instance
+}
+
+// Instance is the per-run state of an analyzer. Package is called once per
+// module package in dependency order; Finish runs after the last package.
+type Instance interface {
+	Package(pass *Pass)
+	Finish(report Reporter)
+}
+
+// Reporter records a diagnostic at a position.
+type Reporter func(pos token.Pos, format string, args ...any)
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Pkg    *types.Package
+	Info   *types.Info
+	Report Reporter
+}
+
+// Diagnostic is one finding, position already resolved.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run drives every analyzer over every package and returns the combined
+// findings sorted by position.
+func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		inst := a.New()
+		name := a.Name
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Pos:      fset.Position(pos),
+				Message:  fmt.Sprintf(format, args...),
+			})
+		}
+		for _, p := range pkgs {
+			inst.Package(&Pass{Fset: fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info, Report: report})
+		}
+		inst.Finish(report)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// All returns the full dkipvet suite.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, HotAlloc, CtxHygiene, WireCheck}
+}
+
+// ---- annotation directives -------------------------------------------------
+
+// The suite understands three comment directives, written with no space
+// after // like all Go tool directives:
+//
+//	//dkip:hotpath      on a function: root of the static alloc-free walk
+//	//dkip:coldpath     on a function: excluded from the walk (slow paths
+//	                    the steady state never takes — growth, panics)
+//	//dkip:alloc-ok <why>  on or directly above a line: suppresses one
+//	                    allocation finding (amortized growth the dynamic
+//	                    gate already bounds)
+
+const (
+	dirHotpath  = "dkip:hotpath"
+	dirColdpath = "dkip:coldpath"
+	dirAllocOK  = "dkip:alloc-ok"
+)
+
+// funcDirective reports whether the function declaration's doc comment
+// carries the directive.
+func funcDirective(fd *ast.FuncDecl, dir string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == dir || strings.HasPrefix(text, dir+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// allocOKLines collects, per file, the source lines covered by a
+// //dkip:alloc-ok directive: the directive's own line (trailing comment)
+// and the line after it (comment-above style).
+func allocOKLines(fset *token.FileSet, files []*ast.File) map[int]bool {
+	ok := make(map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if text == dirAllocOK || strings.HasPrefix(text, dirAllocOK+" ") {
+					line := fset.Position(c.Pos()).Line
+					ok[line] = true
+					ok[line+1] = true
+				}
+			}
+		}
+	}
+	return ok
+}
+
+// ---- small shared helpers --------------------------------------------------
+
+// pkgBase is the last element of an import path: the package directory name,
+// which is how the analyzers scope themselves (so the golden testdata
+// packages under internal/lint/testdata/src/... land in the same scopes as
+// the real tree).
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// calleeOf resolves a call expression to its static *types.Func target, or
+// nil for calls through interfaces values, func values, and builtins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() != types.MethodVal {
+				return nil
+			}
+			// Interface method calls have no static body to walk.
+			if types.IsInterface(sel.Recv()) {
+				return nil
+			}
+			obj = sel.Obj()
+		} else {
+			obj = info.Uses[fun.Sel] // package-qualified function
+		}
+	default:
+		return nil
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether the call targets pkgPath.name (a plain function
+// of that package).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isMethod reports whether the call targets a method named name whose
+// receiver's type (after pointer stripping) is pkgPath.typeName.
+func isMethod(info *types.Info, call *ast.CallExpr, pkgPath, typeName, name string) bool {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// enclosingFuncs maps every node in the package to its enclosing FuncDecl by
+// walking each declaration once.
+func eachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}

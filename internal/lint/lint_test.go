@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The golden tests run each analyzer over a seeded package under
+// testdata/src/<analyzer>/ and diff its diagnostics against the `// want`
+// comments: every seeded violation must fire, every corrected form next to
+// it must stay silent.
+
+func runGolden(t *testing.T, dirs []string, analyzers []*Analyzer) {
+	t.Helper()
+	for _, p := range CheckWant("testdata", dirs, analyzers) {
+		t.Error(p)
+	}
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	runGolden(t, []string{"determinism/a", "determinism/core"}, []*Analyzer{Determinism})
+}
+
+func TestHotAllocGolden(t *testing.T) {
+	runGolden(t, []string{"hotalloc/hot"}, []*Analyzer{HotAlloc})
+}
+
+func TestCtxHygieneGolden(t *testing.T) {
+	runGolden(t, []string{"ctxhygiene/serve"}, []*Analyzer{CtxHygiene})
+}
+
+func TestWireCheckGolden(t *testing.T) {
+	runGolden(t, []string{"wirecheck/serve"}, []*Analyzer{WireCheck})
+}
+
+// TestHotpathCoversAllocGate ties the static and dynamic gates together:
+// every method the TestSteadyStateAllocationFree closures exercise in
+// internal/core and internal/ooo must carry //dkip:hotpath, so the static
+// walk covers at least everything the runtime gate measures. If the gate
+// grows a new entry point, this test demands the annotation before the
+// analyzer can vouch for it.
+func TestHotpathCoversAllocGate(t *testing.T) {
+	for _, dir := range []string{"../core", "../ooo"} {
+		exercised := allocGateCalls(t, dir)
+		if len(exercised) == 0 {
+			t.Fatalf("%s: found no calls inside TestSteadyStateAllocationFree's AllocsPerRun closure", dir)
+		}
+		checked := 0
+		eachDeclInDir(t, dir, func(fd *ast.FuncDecl) {
+			if fd.Recv == nil || !exercised[fd.Name.Name] {
+				return
+			}
+			checked++
+			if !funcDirective(fd, dirHotpath) {
+				t.Errorf("%s: %s is exercised by TestSteadyStateAllocationFree but lacks //dkip:hotpath", dir, fd.Name.Name)
+			}
+		})
+		if checked == 0 {
+			t.Errorf("%s: no declared method matched the gate's calls %v", dir, exercised)
+		}
+	}
+}
+
+// allocGateCalls parses dir's test files and returns the set of method
+// names called inside the testing.AllocsPerRun closure of
+// TestSteadyStateAllocationFree.
+func allocGateCalls(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	calls := make(map[string]bool)
+	eachDeclInDir(t, dir, func(fd *ast.FuncDecl) {
+		if fd.Name.Name != "TestSteadyStateAllocationFree" || fd.Body == nil {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "AllocsPerRun" || len(call.Args) != 2 {
+				return true
+			}
+			lit, ok := call.Args[1].(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok {
+					if s, ok := c.Fun.(*ast.SelectorExpr); ok {
+						calls[s.Sel.Name] = true
+					}
+				}
+				return true
+			})
+			return true
+		})
+	})
+	return calls
+}
+
+// eachDeclInDir parses every .go file in dir (tests included) with comments
+// and invokes fn on each function declaration.
+func eachDeclInDir(t *testing.T, dir string, fn func(*ast.FuncDecl)) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fn(fd)
+			}
+		}
+	}
+}

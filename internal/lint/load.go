@@ -1,0 +1,235 @@
+// Package lint is the repo's static-analysis suite: a small, dependency-free
+// go/analysis-style framework plus the four dkipvet analyzers (determinism,
+// hotalloc, ctxhygiene, wirecheck) that enforce invariants the test suite can
+// only check dynamically. The framework is hand-rolled on the standard
+// library — go/parser, go/types, and the gc export-data importer — so the
+// module keeps its zero-dependency go.mod while still type-checking the whole
+// repo the way golang.org/x/tools/go/packages would.
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package: syntax with comments, the
+// types.Package, and the fully populated types.Info. All packages from one
+// Load share a single token.FileSet so positions compare globally.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	Fset  *token.FileSet
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Imports    []string
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the module packages matched by patterns (plus their
+// module dependencies) and returns them in dependency order. Imported
+// standard-library packages are loaded from gc export data; module packages
+// are always checked from source so a function has exactly one *types.Func
+// identity across the whole run — the property the cross-package analyzers
+// key their summaries on.
+func Load(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	fset := token.NewFileSet()
+	ld := &loader{
+		fset:   fset,
+		metas:  metas,
+		source: make(map[string]*Package),
+	}
+	ld.gc = importer.ForCompiler(fset, "gc", ld.lookupExport)
+
+	// Type-check every module package reachable from the patterns, in
+	// dependency order (importPkg recurses), then keep only the ones the
+	// patterns named directly: dependencies are checked because the
+	// directly-matched packages need their types, but diagnostics are only
+	// wanted for what the caller asked about... except every pattern here
+	// is `./...`-shaped in practice, so "direct" and "reachable" coincide.
+	var roots []string
+	for path, m := range metas {
+		if m.direct && inModule(m.pkg) {
+			roots = append(roots, path)
+		}
+	}
+	var out []*Package
+	for _, path := range roots {
+		if _, err := ld.load(path); err != nil {
+			return nil, nil, err
+		}
+	}
+	// ld.order holds source-checked packages in completion (topological)
+	// order; filter to the direct roots.
+	direct := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		direct[r] = true
+	}
+	for _, p := range ld.order {
+		if direct[p.Path] {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, nil, fmt.Errorf("lint: no module packages matched %v", patterns)
+	}
+	return out, fset, nil
+}
+
+type meta struct {
+	pkg    *listPkg
+	direct bool
+}
+
+func inModule(m *listPkg) bool {
+	return m.Module != nil && !m.Standard
+}
+
+// goList runs `go list -deps -export -json` over the patterns and indexes
+// the result by import path. -export materializes gc export data in the
+// build cache for every dependency, which is what lets the loader work with
+// an empty module cache and no network.
+func goList(dir string, patterns []string) (map[string]*meta, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,Name,GoFiles,Export,Standard,Imports,Module,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	stdout, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	metas := make(map[string]*meta)
+	dec := json.NewDecoder(bytes.NewReader(stdout))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pp := p
+		metas[p.ImportPath] = &meta{pkg: &pp}
+	}
+	// -deps folds dependencies into the same stream, so a second plain
+	// listing tells us exactly which packages the patterns matched; only
+	// those get analyzed (their deps are still type-checked for types).
+	cmd2 := exec.Command("go", append([]string{"list", "--"}, patterns...)...)
+	cmd2.Dir = dir
+	directOut, err := cmd2.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v", patterns, err)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(string(directOut)), "\n") {
+		if m, ok := metas[strings.TrimSpace(line)]; ok {
+			m.direct = true
+		}
+	}
+	return metas, nil
+}
+
+// loader type-checks module packages from source, importing everything else
+// through gc export data out of the build cache.
+type loader struct {
+	fset   *token.FileSet
+	metas  map[string]*meta
+	gc     types.Importer
+	source map[string]*Package // source-checked module packages, by path
+	order  []*Package          // completion order (dependencies first)
+	stack  []string            // cycle detection
+}
+
+// lookupExport feeds the gc importer the export file recorded by go list.
+func (ld *loader) lookupExport(path string) (io.ReadCloser, error) {
+	m, ok := ld.metas[path]
+	if !ok || m.pkg.Export == "" {
+		return nil, fmt.Errorf("lint: no export data for %q", path)
+	}
+	return os.Open(m.pkg.Export)
+}
+
+// Import implements types.Importer: module packages resolve to the
+// in-memory source-checked package, everything else to gc export data.
+func (ld *loader) Import(path string) (*types.Package, error) {
+	if m, ok := ld.metas[path]; ok && inModule(m.pkg) {
+		p, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Pkg, nil
+	}
+	return ld.gc.Import(path)
+}
+
+// load parses and type-checks one module package (memoized).
+func (ld *loader) load(path string) (*Package, error) {
+	if p, ok := ld.source[path]; ok {
+		return p, nil
+	}
+	for _, s := range ld.stack {
+		if s == path {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+	}
+	ld.stack = append(ld.stack, path)
+	defer func() { ld.stack = ld.stack[:len(ld.stack)-1] }()
+
+	m := ld.metas[path]
+	if m == nil {
+		return nil, fmt.Errorf("lint: package %q not in go list output", path)
+	}
+	var files []*ast.File
+	for _, name := range m.pkg.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(m.pkg.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	pkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	p := &Package{Path: path, Dir: m.pkg.Dir, Files: files, Pkg: pkg, Info: info, Fset: ld.fset}
+	ld.source[path] = p
+	ld.order = append(ld.order, p)
+	return p, nil
+}

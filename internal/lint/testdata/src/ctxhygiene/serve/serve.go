@@ -1,0 +1,106 @@
+// Package serve seeds ctxhygiene violations (the analyzer scopes by
+// package directory name): bare sleeps, context-free outbound HTTP, and
+// undeadlined streaming loops, each next to its corrected form.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// Poll naps between probes with no way to interrupt the nap.
+func Poll(ready func() bool) {
+	for !ready() {
+		time.Sleep(50 * time.Millisecond) // want "bare time.Sleep"
+	}
+}
+
+// PollCtx is the corrected form: a ticker in a select with ctx.
+func PollCtx(ctx context.Context, ready func() bool) error {
+	t := time.NewTicker(50 * time.Millisecond)
+	defer t.Stop()
+	for !ready() {
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return nil
+}
+
+// Probe fires requests that no deadline can reach.
+func Probe(c *http.Client, base string) {
+	_, _ = http.Get(base + "/healthz")                // want "outbound HTTP without a context deadline"
+	_, _ = c.Head(base + "/healthz")                  // want "outbound HTTP without a context deadline"
+	_, _ = http.NewRequest(http.MethodGet, base, nil) // want "http.NewRequest carries no context"
+}
+
+// ProbeCtx is the corrected form.
+func ProbeCtx(ctx context.Context, c *http.Client, base string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+type deadliner interface {
+	SetWriteDeadline(t time.Time) error
+}
+
+// Stream keeps encoding onto the connection with no write deadline: a
+// reader that stops draining pins this goroutine forever.
+func Stream(w http.ResponseWriter, events <-chan int) {
+	enc := json.NewEncoder(w)
+	for ev := range events {
+		_ = enc.Encode(ev) // want "streaming encode in a loop without SetWriteDeadline"
+	}
+}
+
+// StreamDeadlined arms a per-write deadline first — the corrected form.
+func StreamDeadlined(w http.ResponseWriter, rc deadliner, events <-chan int) {
+	enc := json.NewEncoder(w)
+	for ev := range events {
+		_ = rc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+	}
+}
+
+// StreamViaClosure launders both the encode and the deadline through an
+// emit closure, the handleResults shape — still clean.
+func StreamViaClosure(w http.ResponseWriter, rc deadliner, events <-chan int) {
+	enc := json.NewEncoder(w)
+	emit := func(ev int) error {
+		_ = rc.SetWriteDeadline(time.Now().Add(5 * time.Second))
+		return enc.Encode(ev)
+	}
+	for ev := range events {
+		if emit(ev) != nil {
+			return
+		}
+	}
+}
+
+// WaitAndAnswer writes once and leaves the loop — a final write, not a
+// stream, so no deadline is demanded.
+func WaitAndAnswer(w http.ResponseWriter, ch <-chan int, timeout <-chan time.Time) {
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case v := <-ch:
+			_ = enc.Encode(v)
+			return
+		case <-timeout:
+			return
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Package a seeds determinism violations: map iteration feeding output
+// sinks, directly and laundered through a helper, plus the corrected
+// collect-and-sort forms that must stay clean.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Direct sink inside a map range: the classic nondeterministic artifact.
+func PrintAll(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "fmt.Fprintf inside range over map"
+	}
+}
+
+// Encoding direction of json is a sink too.
+func EncodeAll(w io.Writer, m map[string]int) {
+	enc := json.NewEncoder(w)
+	for _, v := range m {
+		_ = enc.Encode(v) // want "json.Encode inside range over map"
+	}
+}
+
+// emit exists to launder the sink through a same-package helper.
+func emit(w io.Writer, k string, v int) {
+	fmt.Fprintf(w, "%s=%d\n", k, v)
+}
+
+func PrintLaundered(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		emit(w, k, v) // want "call to emit .which writes output. inside range over map"
+	}
+}
+
+// The corrected form: collect, sort, then iterate the slice.
+func PrintSorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Sorting inline inside the range body counts as an intervening sort.
+func PrintInlineSort(w io.Writer, m map[string][]string, order []string) {
+	for _, vs := range m {
+		sort.Strings(vs)
+		fmt.Fprintf(w, "%v\n", vs)
+	}
+}
+
+// Output dispatched concurrently from the range is the collector's
+// ordering problem, not the loop's: goroutines interleave regardless.
+func FanOut(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		go func(k string, v int) {
+			fmt.Fprintf(w, "%s=%d\n", k, v)
+		}(k, v)
+	}
+}
+
+// Decoding direction never leaks iteration order.
+func DecodeAll(rs map[string]io.Reader, into []any) {
+	i := 0
+	for _, r := range rs {
+		_ = json.NewDecoder(r).Decode(&into[i])
+		i++
+	}
+}

@@ -1,0 +1,27 @@
+// Package core seeds entropy violations in a simulation-semantic package
+// (the analyzer scopes by package directory name): wall-clock time and
+// math/rand are banned; internal/xrand is the one legal source.
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"dkip/internal/xrand"
+)
+
+// Cycle consults the wall clock and ambient randomness — both banned.
+func Cycle(seed uint64) uint64 {
+	t := time.Now()          // want "time.Now in simulation package core"
+	r := rand.Uint64()       // want `rand.Uint64 in simulation package core`
+	elapsed := time.Since(t) // want "time.Since in simulation package core"
+	return r + uint64(elapsed.Nanoseconds())
+}
+
+// Legal: deterministic seeded entropy from internal/xrand, and time used
+// only as a unit (durations, constants), never sampled.
+func CycleSeeded(seed uint64) uint64 {
+	rng := xrand.New(seed)
+	const tick = 10 * time.Millisecond
+	return rng.Uint64() + uint64(tick)
+}

@@ -1,0 +1,82 @@
+// Package hot seeds hotalloc violations: allocating constructs inside and
+// reachable from //dkip:hotpath functions, next to the annotated and
+// refactored forms that must stay clean.
+package hot
+
+import "fmt"
+
+// Sink is an interface parameter target for the boxing check.
+type Sink interface{ Put(v any) }
+
+type counter struct{ n uint64 }
+
+// Cycle is a hot loop with one of everything the analyzer bans.
+//
+//dkip:hotpath
+func Cycle(c *counter, s Sink, tag string, vals []uint64) string {
+	buf := make([]uint64, 4)      // want "make in Cycle"
+	box := new(counter)           // want "new in Cycle"
+	vals = append(vals, 1)        // want `append .may grow. in Cycle`
+	msg := fmt.Sprintf("%d", c.n) // want "call to fmt.Sprintf in Cycle"
+	label := tag + msg            // want "string concatenation in Cycle"
+	s.Put(c.n)                    // want "interface boxing of uint64 in Cycle"
+	_ = buf
+	_ = box
+	return label
+}
+
+// helper carries an allocation the walk must find two hops from the root.
+func helper(n int) []uint64 {
+	return make([]uint64, n) // want "make in helper"
+}
+
+func middle(n int) []uint64 { return helper(n) }
+
+// Drive reaches helper's make through middle — neither is annotated, both
+// are on the hot path.
+//
+//dkip:hotpath
+func Drive(n int) []uint64 { return middle(n) }
+
+// grow is the amortized slow path, excluded from the walk.
+//
+//dkip:coldpath
+func grow(s []uint64) []uint64 {
+	return append(make([]uint64, 0, 2*cap(s)), s...)
+}
+
+// push is the corrected hot form: suppressed amortized growth, cold-path
+// growth factored out, panic paths exempt.
+//
+//dkip:hotpath
+func push(s []uint64, v uint64) []uint64 {
+	if len(s) == cap(s) {
+		s = grow(s)
+	}
+	//dkip:alloc-ok amortized growth, bounded by the window and reused
+	s = append(s, v)
+	if len(s) == 0 {
+		panic(fmt.Sprintf("impossible: %d", v))
+	}
+	return s
+}
+
+// Tick shows the non-escaping closure idiom: a func literal bound to a
+// local and only ever called compiles to a stack closure.
+//
+//dkip:hotpath
+func Tick(c *counter, vals []uint64) uint64 {
+	best := uint64(0)
+	consider := func(v uint64) {
+		if v > best {
+			best = v
+		}
+	}
+	for _, v := range vals {
+		consider(v)
+	}
+	escape := func() uint64 { return best } // want "escaping closure"
+	return keep(escape)
+}
+
+func keep(f func() uint64) uint64 { return f() }

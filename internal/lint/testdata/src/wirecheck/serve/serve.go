@@ -1,0 +1,46 @@
+// Package serve seeds wirecheck violations: func-typed struct fields
+// reachable from the wire codec without a json:"-" tag (the PR 3
+// NewPredictor bug), plus the tagged and unexported forms that pass.
+package serve
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Config rides inside a Spec; its constructor hook must not travel.
+type Config struct {
+	Width   int        `json:"width"`
+	NewUnit func() int `json:"new_unit"` // want "func-typed field NewUnit is reachable from the serve wire codec"
+	Tagged  func() int `json:"-"`
+	hidden  func() int //lint:ignore U1000 unexported fields never travel
+}
+
+// Spec is the wire form: the codec reaches Config through the pointer.
+type Spec struct {
+	Arch string  `json:"arch"`
+	Cfg  *Config `json:"cfg,omitempty"`
+}
+
+// Response nests specs in a slice, and carries a bare callback of its own.
+type Response struct {
+	Specs  []Spec       `json:"specs"`
+	OnDone func() error // want "func-typed field OnDone is reachable from the serve wire codec"
+}
+
+func Encode(w io.Writer, r Response) error {
+	return json.NewEncoder(w).Encode(r)
+}
+
+func Decode(data []byte) (Spec, error) {
+	var s Spec
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+// Local is never handed to the codec: its func field is fine.
+type Local struct {
+	Hook func() int
+}
+
+func Use(l Local) int { return l.Hook() }

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+)
+
+// WireCheck guards the serve wire protocol against the PR 3 NewPredictor
+// bug: a struct field of function type that is reachable from a value the
+// wire codec marshals or unmarshals must carry a `json:"-"` tag. Without
+// it, encoding/json either fails at runtime (encode) or silently produces
+// a spec that simulates a different machine than the client asked for.
+var WireCheck = &Analyzer{
+	Name: "wirecheck",
+	Doc:  "func-typed struct fields reachable from the serve wire codec must be json:\"-\"",
+	New:  func() Instance { return &wireCheck{seen: make(map[types.Type]bool)} },
+}
+
+type wireCheck struct {
+	seen map[types.Type]bool
+	pend []pending
+}
+
+type pending struct {
+	fld *types.Var
+	msg string
+}
+
+func (w *wireCheck) Package(pass *Pass) {
+	if pkgBase(pass.Pkg.Path()) != "serve" {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isWireCodecCall(pass.Info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || tv.Type == nil {
+					continue
+				}
+				w.walk(tv.Type)
+			}
+			return true
+		})
+	}
+}
+
+// isWireCodecCall matches the encoding/json entry points the serve wire
+// protocol uses: Marshal/MarshalIndent/Unmarshal and the streaming
+// Encoder.Encode / Decoder.Decode.
+func isWireCodecCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgFunc(info, call, "encoding/json", "Marshal", "MarshalIndent", "Unmarshal") ||
+		isMethod(info, call, "encoding/json", "Encoder", "Encode") ||
+		isMethod(info, call, "encoding/json", "Decoder", "Decode")
+}
+
+// walk visits the type graph reachable from t the way encoding/json would:
+// through pointers, slices, arrays, maps, and exported struct fields.
+// Func-typed fields without json:"-" are recorded for Finish.
+func (w *wireCheck) walk(t types.Type) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	switch u := t.(type) {
+	case *types.Pointer:
+		w.walk(u.Elem())
+	case *types.Slice:
+		w.walk(u.Elem())
+	case *types.Array:
+		w.walk(u.Elem())
+	case *types.Map:
+		w.walk(u.Elem())
+	case *types.Named:
+		// Only descend into module types: stdlib structs come from export
+		// data (no useful positions) and cannot carry our configs.
+		if obj := u.Obj(); obj.Pkg() != nil && !isModulePath(obj.Pkg().Path()) {
+			return
+		}
+		w.walk(u.Underlying())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			fld := u.Field(i)
+			if !fld.Exported() && !fld.Embedded() {
+				continue // unexported fields never travel
+			}
+			tag := reflect.StructTag(u.Tag(i)).Get("json")
+			name, _, _ := strings.Cut(tag, ",")
+			if name == "-" {
+				continue // excluded from the wire: stop here
+			}
+			if isFuncType(fld.Type()) {
+				w.pend = append(w.pend, pending{fld, "func-typed field " + fld.Name() + " is reachable from the serve wire codec: tag it json:\"-\" or it rides the wire"})
+				continue
+			}
+			w.walk(fld.Type())
+		}
+	}
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func (w *wireCheck) Finish(report Reporter) {
+	sort.Slice(w.pend, func(i, j int) bool { return w.pend[i].fld.Pos() < w.pend[j].fld.Pos() })
+	for _, p := range w.pend {
+		report(p.fld.Pos(), "%s", p.msg)
+	}
+}

@@ -101,6 +101,8 @@ func (c *Cache) index(addr uint64) (base int, tag uint64) {
 // Lookup reports whether addr hits without modifying any state (no LRU
 // update, no fill, no stats). The D-KIP's Analyze stage uses this to model
 // the L2 tag probe that classifies a load as short- or long-latency.
+//
+//dkip:hotpath
 func (c *Cache) Lookup(addr uint64) bool {
 	base, tag := c.index(addr)
 	for w := base; w < base+c.assoc; w++ {
@@ -113,6 +115,8 @@ func (c *Cache) Lookup(addr uint64) bool {
 
 // Access performs a demand access: on a hit the line's recency is refreshed;
 // on a miss the LRU way is replaced. It returns whether the access hit.
+//
+//dkip:hotpath
 func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.clock++

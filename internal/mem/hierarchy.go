@@ -163,6 +163,8 @@ func (h *Hierarchy) Config() Config { return h.cfg }
 
 // Access performs a demand access (load or store fill) and returns the
 // latency observed and the level that satisfied it.
+//
+//dkip:hotpath
 func (h *Hierarchy) Access(addr uint64) (latency int, level Level) {
 	// Perfect L1.
 	if h.l1 == nil {
@@ -224,6 +226,8 @@ func (h *Hierarchy) prefetch(addr uint64) {
 // ProbeLongLatency reports, without disturbing cache or statistics state,
 // whether a demand access to addr would go to main memory. The D-KIP Analyze
 // stage uses this as the L2 tag-array check that classifies loads.
+//
+//dkip:hotpath
 func (h *Hierarchy) ProbeLongLatency(addr uint64) bool {
 	if h.cfg.MemLatency == 0 {
 		return false

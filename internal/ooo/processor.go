@@ -122,6 +122,8 @@ func (p *Processor) Predictor() *predictor.Stats { return p.bp }
 // Run simulates until warmup+measure instructions have committed and returns
 // statistics covering only the measurement phase. The generator supplies the
 // correct-path instruction stream.
+//
+//dkip:hotpath
 func (p *Processor) Run(g trace.Generator, warmup, measure uint64) *pipeline.Stats {
 	if measure == 0 {
 		panic("ooo: Run with zero measurement length")
@@ -502,6 +504,7 @@ func (p *Processor) renameStage() {
 		for i, src := range [2]isa.Reg{fe.in.Src1, fe.in.Src2} {
 			if prod, busy := p.sb.Lookup(src); busy {
 				pe := p.win.Get(prod)
+				//dkip:alloc-ok consumer lists are pre-capped by Window.Alloc; growth is warmup-only
 				pe.Consumers = append(pe.Consumers, seq)
 				prods[i] = prod
 				pending++

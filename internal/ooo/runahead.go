@@ -84,6 +84,7 @@ func (p *Processor) maybeRunahead(g trace.Generator) {
 	}
 	for scanned < p.cfg.RunaheadDepth {
 		in := g.Next()
+		//dkip:alloc-ok replay buffer grows to RunaheadDepth once, then recycles
 		ra.replay = append(ra.replay, in)
 		p.runaheadPrefetch(in)
 		scanned++

@@ -163,6 +163,8 @@ func (w *Window) Capacity() int { return len(w.entries) }
 
 // Get returns the entry for seq. The entry is only meaningful between
 // Alloc(seq) and the retirement of seq.
+//
+//dkip:hotpath
 func (w *Window) Get(seq uint64) *DynInst {
 	return &w.entries[seq&w.mask]
 }
@@ -170,6 +172,8 @@ func (w *Window) Get(seq uint64) *DynInst {
 // Alloc initializes and returns the entry for seq. It panics if the slot
 // still belongs to a live instruction — that means the model let more than
 // Capacity instructions into flight, a bug worth failing loudly on.
+//
+//dkip:hotpath
 func (w *Window) Alloc(seq uint64, in isa.Instr, inFlight int) *DynInst {
 	if inFlight >= len(w.entries) {
 		panic(fmt.Sprintf("pipeline: window overflow: %d in flight, capacity %d", inFlight, len(w.entries)))

@@ -55,6 +55,8 @@ func NewFUPool(cfg FUConfig) *FUPool {
 }
 
 // NewCycle resets per-cycle usage counters; call once per simulated cycle.
+//
+//dkip:hotpath
 func (f *FUPool) NewCycle(cycle int64) {
 	f.cycle = cycle
 	f.usedALU = 0
@@ -65,6 +67,8 @@ func (f *FUPool) NewCycle(cycle int64) {
 
 // TryIssue claims a unit for op in the current cycle, returning false when
 // all units of the class are busy.
+//
+//dkip:hotpath
 func (f *FUPool) TryIssue(op isa.Op) bool {
 	switch op {
 	case isa.Nop, isa.IntALU, isa.Branch, isa.Load, isa.Store:

@@ -11,7 +11,9 @@ package pipeline
 // seqHeap is a min-heap of sequence numbers: oldest-first selection.
 type seqHeap []uint64
 
+//dkip:hotpath
 func (h *seqHeap) push(v uint64) {
+	//dkip:alloc-ok amortized heap growth, bounded by window size and reused across cycles
 	s := append(*h, v)
 	i := len(s) - 1
 	for i > 0 {
@@ -25,6 +27,7 @@ func (h *seqHeap) push(v uint64) {
 	*h = s
 }
 
+//dkip:hotpath
 func (h *seqHeap) pop() uint64 {
 	s := *h
 	v := s[0]
@@ -94,6 +97,8 @@ func (q *IssueQueue) InOrder() bool { return q.inOrder }
 
 // Insert dispatches an instruction into the queue, stamping its Queue field.
 // ready indicates all its sources are already available.
+//
+//dkip:hotpath
 func (q *IssueQueue) Insert(seq uint64, ready bool) {
 	if q.Full() {
 		panic("pipeline: insert into full issue queue")
@@ -112,6 +117,8 @@ func (q *IssueQueue) Insert(seq uint64, ready bool) {
 
 // Wake notifies the queue that seq's operands became ready. Only meaningful
 // in out-of-order mode; the in-order queue re-checks its head on Pop.
+//
+//dkip:hotpath
 func (q *IssueQueue) Wake(seq uint64) {
 	if !q.inOrder {
 		q.ready.push(seq)
@@ -120,6 +127,8 @@ func (q *IssueQueue) Wake(seq uint64) {
 
 // Pop selects the next instruction to issue, oldest-first among the eligible,
 // or returns false if none is eligible this cycle.
+//
+//dkip:hotpath
 func (q *IssueQueue) Pop() (uint64, bool) {
 	if q.inOrder {
 		for q.fifo.Len() > 0 {
@@ -157,6 +166,8 @@ func (q *IssueQueue) Pop() (uint64, bool) {
 // instruction has not been woken and must re-stamp its Queue field (normally
 // by inserting it elsewhere); the stale reference left behind is skipped by
 // Pop.
+//
+//dkip:hotpath
 func (q *IssueQueue) RemoveWaiting() {
 	if q.size == 0 {
 		panic("pipeline: RemoveWaiting on empty queue")
@@ -169,6 +180,8 @@ func (q *IssueQueue) RemoveWaiting() {
 // in-order mode it becomes the head of the FIFO again in O(1) — under
 // memory-port pressure Unpop runs once per blocked issue attempt, so a
 // shift-everything prepend would be quadratic in queue occupancy.
+//
+//dkip:hotpath
 func (q *IssueQueue) Unpop(seq uint64) {
 	q.size++
 	if q.inOrder {
@@ -207,7 +220,9 @@ func (a event) less(b event) bool {
 	return a.seq < b.seq
 }
 
+//dkip:hotpath
 func (h *eventHeap) push(v event) {
+	//dkip:alloc-ok amortized heap growth, bounded by in-flight memory ops and reused across cycles
 	s := append(*h, v)
 	i := len(s) - 1
 	for i > 0 {
@@ -221,6 +236,7 @@ func (h *eventHeap) push(v event) {
 	*h = s
 }
 
+//dkip:hotpath
 func (h *eventHeap) pop() event {
 	s := *h
 	v := s[0]
@@ -248,11 +264,15 @@ func (h *eventHeap) pop() event {
 }
 
 // Schedule enqueues seq to complete at the given cycle.
+//
+//dkip:hotpath
 func (e *EventQueue) Schedule(cycle int64, seq uint64) {
 	e.h.push(event{cycle, seq})
 }
 
 // PopDue removes and returns the next event due at or before cycle.
+//
+//dkip:hotpath
 func (e *EventQueue) PopDue(cycle int64) (uint64, bool) {
 	if len(e.h) == 0 || e.h[0].cycle > cycle {
 		return 0, false
@@ -261,6 +281,8 @@ func (e *EventQueue) PopDue(cycle int64) (uint64, bool) {
 }
 
 // NextCycle returns the cycle of the earliest pending event.
+//
+//dkip:hotpath
 func (e *EventQueue) NextCycle() (int64, bool) {
 	if len(e.h) == 0 {
 		return 0, false

@@ -23,6 +23,8 @@ func (r *Ring64) Len() int { return r.n }
 func (r *Ring64) Cap() int { return len(r.buf) }
 
 // grow doubles the backing array, unwrapping the live region to the front.
+//
+//dkip:coldpath
 func (r *Ring64) grow() {
 	size := 2 * len(r.buf)
 	if size == 0 {
@@ -38,6 +40,8 @@ func (r *Ring64) grow() {
 }
 
 // PushBack appends v at the tail.
+//
+//dkip:hotpath
 func (r *Ring64) PushBack(v uint64) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -48,6 +52,8 @@ func (r *Ring64) PushBack(v uint64) {
 
 // PushFront prepends v at the head in O(1) — the operation the in-order
 // issue queue needs for Unpop after a structural-hazard stall.
+//
+//dkip:hotpath
 func (r *Ring64) PushFront(v uint64) {
 	if r.n == len(r.buf) {
 		r.grow()
@@ -58,6 +64,8 @@ func (r *Ring64) PushFront(v uint64) {
 }
 
 // Front returns the head value. It panics on an empty ring.
+//
+//dkip:hotpath
 func (r *Ring64) Front() uint64 {
 	if r.n == 0 {
 		panic("pipeline: Front of empty Ring64")
@@ -66,6 +74,8 @@ func (r *Ring64) Front() uint64 {
 }
 
 // PopFront removes and returns the head value. It panics on an empty ring.
+//
+//dkip:hotpath
 func (r *Ring64) PopFront() uint64 {
 	if r.n == 0 {
 		panic("pipeline: PopFront of empty Ring64")
@@ -77,6 +87,8 @@ func (r *Ring64) PopFront() uint64 {
 }
 
 // At returns the i-th value from the front, 0 <= i < Len.
+//
+//dkip:hotpath
 func (r *Ring64) At(i int) uint64 {
 	if i < 0 || i >= r.n {
 		panic("pipeline: Ring64 index out of range")

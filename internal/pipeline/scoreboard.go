@@ -19,6 +19,8 @@ func (s *Scoreboard) Reset() {
 }
 
 // Lookup returns the in-flight producer of r, if any.
+//
+//dkip:hotpath
 func (s *Scoreboard) Lookup(r isa.Reg) (producer uint64, pending bool) {
 	if !r.Valid() {
 		return 0, false
@@ -27,6 +29,8 @@ func (s *Scoreboard) Lookup(r isa.Reg) (producer uint64, pending bool) {
 }
 
 // Define records seq as the newest producer of r.
+//
+//dkip:hotpath
 func (s *Scoreboard) Define(r isa.Reg, seq uint64) {
 	if !r.Valid() {
 		return
@@ -37,6 +41,8 @@ func (s *Scoreboard) Define(r isa.Reg, seq uint64) {
 
 // Complete marks r ready if seq is still its newest producer. A younger
 // redefinition supersedes the completion, exactly as renaming would.
+//
+//dkip:hotpath
 func (s *Scoreboard) Complete(r isa.Reg, seq uint64) {
 	if !r.Valid() {
 		return

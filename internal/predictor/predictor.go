@@ -33,6 +33,8 @@ type Stats struct {
 func NewStats(p Predictor) *Stats { return &Stats{P: p} }
 
 // Predict records and returns the wrapped predictor's prediction.
+//
+//dkip:hotpath
 func (s *Stats) Predict(pc uint64) bool {
 	pred := s.P.Predict(pc)
 	s.lastPred = pred
@@ -42,6 +44,8 @@ func (s *Stats) Predict(pc uint64) bool {
 
 // Update trains the wrapped predictor and accounts accuracy against the
 // prediction most recently returned by Predict.
+//
+//dkip:hotpath
 func (s *Stats) Update(pc uint64, taken bool) {
 	if s.pending {
 		s.Lookups++
@@ -79,9 +83,13 @@ type Static struct {
 }
 
 // Predict returns the fixed direction.
+//
+//dkip:hotpath
 func (s *Static) Predict(uint64) bool { return s.Taken }
 
 // Update is a no-op for the static predictor.
+//
+//dkip:hotpath
 func (s *Static) Update(uint64, bool) {}
 
 // Name returns "static-taken" or "static-nottaken".
@@ -114,11 +122,15 @@ func NewBimodal(entries int) *Bimodal {
 }
 
 // Predict returns the counter's direction for pc.
+//
+//dkip:hotpath
 func (b *Bimodal) Predict(pc uint64) bool {
 	return b.table[(pc>>2)&b.mask] >= 2
 }
 
 // Update trains the 2-bit counter for pc.
+//
+//dkip:hotpath
 func (b *Bimodal) Update(pc uint64, taken bool) {
 	i := (pc >> 2) & b.mask
 	c := b.table[i]
@@ -180,11 +192,15 @@ func (g *Gshare) index(pc uint64) uint64 {
 }
 
 // Predict returns the predicted direction for pc under the current history.
+//
+//dkip:hotpath
 func (g *Gshare) Predict(pc uint64) bool {
 	return g.table[g.index(pc)] >= 2
 }
 
 // Update trains the counter and shifts the outcome into the history.
+//
+//dkip:hotpath
 func (g *Gshare) Update(pc uint64, taken bool) {
 	i := g.index(pc)
 	c := g.table[i]

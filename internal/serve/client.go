@@ -168,7 +168,7 @@ func (c *Client) runAll(ctx context.Context, specs []sim.RunSpec) ([]*sim.Result
 		return nil, fmt.Errorf("serve: encode submission: %w", err)
 	}
 	var rr RunsResponse
-	err = c.retry.Do(func() error {
+	err = c.retry.Do(ctx, func() error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -389,10 +389,15 @@ func httpError(resp *http.Response) error {
 // timeout — the liveness check Pool uses to admit a member back into the
 // routing ring.
 func Healthy(base string) error {
-	// The probe gets its own transport timeout: without one, a single
+	// The probe gets its own deadline via context: without one, a single
 	// connect to a blackholed address blocks for the OS default (minutes).
-	attempt := &http.Client{Timeout: 2 * time.Second}
-	resp, err := attempt.Get(strings.TrimRight(base, "/") + "/v1/healthz")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(base, "/")+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}

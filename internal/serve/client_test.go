@@ -265,3 +265,22 @@ func TestHealthzProbe(t *testing.T) {
 		t.Error("WaitHealthy did not respect its budget")
 	}
 }
+
+// The healthz probe is deadline-bounded end to end — the regression
+// dkipvet's ctxhygiene analyzer pinned: the probe used to ride a bare
+// client.Get whose only bound was a transport-level timeout, invisible to
+// the request context. A daemon that accepts the connection and then
+// wedges must fail the probe within the probe's own deadline.
+func TestHealthyBoundedAgainstWedgedDaemon(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done() // never answer; exit when the probe gives up
+	}))
+	defer ts.Close()
+	start := time.Now()
+	if err := Healthy(ts.URL); err == nil {
+		t.Error("Healthy against a wedged daemon returned nil")
+	}
+	if elapsed := time.Since(start); elapsed > 15*time.Second {
+		t.Errorf("probe took %v against a wedged daemon; the deadline is not applied", elapsed)
+	}
+}

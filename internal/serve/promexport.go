@@ -98,6 +98,21 @@ var (
 	promLabelName  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
 )
 
+// LintDiag is one exposition problem: the 1-based line it was found on
+// (0 for whole-stream problems, like an exposition with no samples) and a
+// human-readable message.
+type LintDiag struct {
+	Line int
+	Msg  string
+}
+
+func (d LintDiag) String() string {
+	if d.Line == 0 {
+		return "metrics: " + d.Msg
+	}
+	return fmt.Sprintf("metrics line %d: %s", d.Line, d.Msg)
+}
+
 // LintExposition validates Prometheus text exposition format: HELP/TYPE
 // comment syntax, one TYPE per family declared before its samples, legal
 // metric and label names, quoted-and-escaped label values, parseable
@@ -106,7 +121,26 @@ var (
 // against a live daemon's /metrics (via cmd/promlint) and tests run
 // against recorded responses — strict enough that anything it passes, a
 // real Prometheus scraper ingests.
+//
+// It reports the first problem only; LintExpositionAll collects them all.
 func LintExposition(r io.Reader) error {
+	diags, err := LintExpositionAll(r)
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("%s", diags[0])
+	}
+	return nil
+}
+
+// LintExpositionAll runs the same checks as LintExposition but keeps going
+// after a finding, returning every diagnostic in line order. A line with a
+// problem is skipped for further per-line checks but does not stop the
+// scan, so cmd/promlint and `dkipvet promtext` can show the whole damage
+// at once. The error return is for stream-level failures (a line the
+// scanner cannot buffer), not lint findings.
+func LintExpositionAll(r io.Reader) ([]LintDiag, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	typed := make(map[string]string) // family -> declared type
@@ -115,8 +149,9 @@ func LintExposition(r io.Reader) error {
 	current := ""                    // family block being read
 	sawSample := false
 	lineNo := 0
-	fail := func(format string, args ...any) error {
-		return fmt.Errorf("metrics line %d: %s", lineNo, fmt.Sprintf(format, args...))
+	var diags []LintDiag
+	fail := func(format string, args ...any) {
+		diags = append(diags, LintDiag{Line: lineNo, Msg: fmt.Sprintf(format, args...)})
 	}
 	for sc.Scan() {
 		lineNo++
@@ -131,28 +166,34 @@ func LintExposition(r io.Reader) error {
 			}
 			name := fields[2]
 			if !promMetricName.MatchString(name) {
-				return fail("bad metric name %q in %s comment", name, fields[1])
+				fail("bad metric name %q in %s comment", name, fields[1])
+				continue
 			}
 			if fields[1] == "TYPE" {
 				if len(fields) != 4 {
-					return fail("TYPE comment for %s carries no type", name)
+					fail("TYPE comment for %s carries no type", name)
+					continue
 				}
 				switch fields[3] {
 				case "counter", "gauge", "histogram", "summary", "untyped":
 				default:
-					return fail("unknown TYPE %q for %s", fields[3], name)
+					fail("unknown TYPE %q for %s", fields[3], name)
+					continue
 				}
 				if _, dup := typed[name]; dup {
-					return fail("second TYPE declaration for %s", name)
+					fail("second TYPE declaration for %s", name)
+					continue
 				}
 				if closed[name] {
-					return fail("family %s reopened after other samples (interleaved families)", name)
+					fail("family %s reopened after other samples (interleaved families)", name)
+					continue
 				}
 				typed[name] = fields[3]
 			}
 			if fam := familyOf(name); fam != current {
 				if closed[fam] {
-					return fail("family %s reopened after other samples (interleaved families)", fam)
+					fail("family %s reopened after other samples (interleaved families)", fam)
+					continue
 				}
 				if current != "" {
 					closed[current] = true
@@ -163,10 +204,12 @@ func LintExposition(r io.Reader) error {
 		}
 		name, labels, valueField, err := splitSample(line)
 		if err != nil {
-			return fail("%v", err)
+			fail("%v", err)
+			continue
 		}
 		if !promMetricName.MatchString(name) {
-			return fail("bad metric name %q", name)
+			fail("bad metric name %q", name)
+			continue
 		}
 		sawSample = true
 		fam := familyOf(name)
@@ -174,38 +217,46 @@ func LintExposition(r io.Reader) error {
 			// Bare untyped samples are legal in the format at large, but
 			// this daemon always declares types; a sample with no TYPE is
 			// what a half-written handler would emit.
-			return fail("sample %s appears before its TYPE declaration", name)
+			fail("sample %s appears before its TYPE declaration", name)
+			continue
 		}
 		if fam != current {
 			if closed[fam] {
-				return fail("family %s reopened after other samples (interleaved families)", fam)
+				fail("family %s reopened after other samples (interleaved families)", fam)
+				continue
 			}
 			if current != "" {
 				closed[current] = true
 			}
 			current = fam
 		}
+		badLabel := false
 		for _, l := range labels {
 			if !promLabelName.MatchString(l[0]) {
-				return fail("bad label name %q on %s", l[0], name)
+				fail("bad label name %q on %s", l[0], name)
+				badLabel = true
 			}
+		}
+		if badLabel {
+			continue
 		}
 		sig := name + "{" + joinLabels(labels) + "}"
 		if seen[sig] {
-			return fail("duplicate sample %s", sig)
+			fail("duplicate sample %s", sig)
+			continue
 		}
 		seen[sig] = true
 		if err := checkValue(valueField); err != nil {
-			return fail("sample %s: %v", name, err)
+			fail("sample %s: %v", name, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("metrics: %w", err)
+		return diags, err
 	}
 	if !sawSample {
-		return fmt.Errorf("metrics: exposition carries no samples")
+		diags = append(diags, LintDiag{Msg: "exposition carries no samples"})
 	}
-	return nil
+	return diags, nil
 }
 
 // familyOf strips the histogram/summary sample suffixes so _bucket/_sum/

@@ -105,12 +105,15 @@ type RetryPolicy struct {
 var DefaultRetry = RetryPolicy{Attempts: 4, Base: 100 * time.Millisecond, Cap: 2 * time.Second}
 
 // Do runs op, retrying transient failures (see Transient) with capped
-// exponential backoff. It returns nil on success, the error unchanged when
-// it is permanent, and the last error wrapped with the attempt count when
-// the budget is exhausted — so "retries exhausted" is distinguishable from
-// "failed once" in logs while errors.As still reaches the underlying
-// *HTTPError.
-func (p RetryPolicy) Do(op func() error) error {
+// exponential backoff. The backoff wait selects on ctx, so canceling the
+// context (operator ^C, a work-stealing race resolved elsewhere) interrupts
+// a sleeping retry ladder instead of letting it finish the nap first. It
+// returns nil on success, the error unchanged when it is permanent, ctx's
+// error when canceled mid-backoff, and the last error wrapped with the
+// attempt count when the budget is exhausted — so "retries exhausted" is
+// distinguishable from "failed once" in logs while errors.As still reaches
+// the underlying *HTTPError.
+func (p RetryPolicy) Do(ctx context.Context, op func() error) error {
 	attempts := p.Attempts
 	if attempts < 1 {
 		attempts = 1
@@ -118,7 +121,13 @@ func (p RetryPolicy) Do(op func() error) error {
 	var err error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			time.Sleep(p.backoff(attempt - 1))
+			t := time.NewTimer(p.backoff(attempt - 1))
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			}
 		}
 		if err = op(); err == nil || !Transient(err) {
 			return err

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -49,7 +50,7 @@ func TestRetryPolicyDo(t *testing.T) {
 	fast := RetryPolicy{Attempts: 4, Base: time.Millisecond, Cap: 4 * time.Millisecond}
 
 	calls := 0
-	err := fast.Do(func() error {
+	err := fast.Do(context.Background(), func() error {
 		calls++
 		if calls < 3 {
 			return &HTTPError{StatusCode: 503, Msg: "draining"}
@@ -62,12 +63,12 @@ func TestRetryPolicyDo(t *testing.T) {
 
 	calls = 0
 	perm := &HTTPError{StatusCode: 400, Msg: "bad spec"}
-	if err := fast.Do(func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
+	if err := fast.Do(context.Background(), func() error { calls++; return perm }); !errors.Is(err, perm) || calls != 1 {
 		t.Errorf("permanent: err=%v calls=%d, want the error itself after 1 call", err, calls)
 	}
 
 	calls = 0
-	err = fast.Do(func() error { calls++; return &HTTPError{StatusCode: 503, Msg: "still down"} })
+	err = fast.Do(context.Background(), func() error { calls++; return &HTTPError{StatusCode: 503, Msg: "still down"} })
 	if calls != fast.Attempts {
 		t.Errorf("exhausted: %d calls, want %d", calls, fast.Attempts)
 	}
@@ -98,5 +99,37 @@ func TestRetryBackoffCaps(t *testing.T) {
 	loose := RetryPolicy{Attempts: 25, Base: 100 * time.Millisecond}
 	if got := loose.backoff(20); got != DefaultRetry.Cap {
 		t.Errorf("zero-Cap backoff(20) = %v, want the default cap %v", got, DefaultRetry.Cap)
+	}
+}
+
+// A canceled context must interrupt the backoff wait itself — the
+// regression dkipvet's ctxhygiene analyzer pinned: Do used to sleep out
+// its full backoff even after the caller had given up.
+func TestRetryPolicyDoCanceledMidBackoff(t *testing.T) {
+	slow := RetryPolicy{Attempts: 3, Base: time.Hour, Cap: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		done <- slow.Do(ctx, func() error {
+			calls++
+			cancel() // give up while Do is about to back off
+			return &HTTPError{StatusCode: 503, Msg: "draining"}
+		})
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("Do = %v, want context.Canceled", err)
+		}
+		if calls != 1 {
+			t.Errorf("op ran %d times, want 1", calls)
+		}
+		if elapsed := time.Since(start); elapsed > 10*time.Second {
+			t.Errorf("cancellation took %v, want immediate", elapsed)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Do still sleeping its backoff an hour-scale wait after cancel")
 	}
 }
