@@ -1,10 +1,12 @@
 // Command dkipvet is the repo's static-analysis multichecker: it runs the
-// internal/lint suite (determinism, hotalloc, ctxhygiene, wirecheck) over
-// the packages named on the command line and exits nonzero on any finding.
+// internal/lint suite (determinism, hotalloc, ctxhygiene, wirecheck,
+// lockorder, goroleak, guardedstate) over the packages named on the command
+// line and exits nonzero on any finding.
 //
 // Standalone (what CI runs):
 //
 //	go run ./cmd/dkipvet ./...
+//	go run ./cmd/dkipvet -json ./...   # NDJSON diagnostics on stdout
 //
 // As a go vet tool (best-effort unitchecker protocol):
 //
@@ -60,14 +62,37 @@ func main() {
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
 		os.Exit(vetUnit(args[0]))
 	}
-	if len(args) == 0 {
-		args = []string{"./..."}
+	// -json applies to the standalone mode only: one NDJSON object per
+	// diagnostic on stdout ({file, line, analyzer, message}), nothing on a
+	// clean run. It is deliberately not advertised to go vet via -flags —
+	// the unitchecker path keeps the plain text protocol vet expects.
+	asJSON := false
+	rest := args[:0:0]
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			asJSON = true
+			continue
+		}
+		rest = append(rest, a)
 	}
-	os.Exit(standalone(args))
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	os.Exit(standalone(rest, asJSON))
+}
+
+// jsonDiag is the machine-readable diagnostic shape -json emits, one object
+// per line (NDJSON) so CI can archive and diff reports without parsing the
+// human format.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // standalone loads packages through the go command and runs the full suite.
-func standalone(patterns []string) int {
+func standalone(patterns []string, asJSON bool) int {
 	wd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
@@ -79,8 +104,18 @@ func standalone(patterns []string) int {
 		return 2
 	}
 	diags := lint.Run(pkgs, fset, lint.All())
-	for _, d := range diags {
-		fmt.Println(d)
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{File: d.Pos.Filename, Line: d.Pos.Line, Analyzer: d.Analyzer, Message: d.Message}); err != nil {
+				fmt.Fprintf(os.Stderr, "dkipvet: %v\n", err)
+				return 2
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "dkipvet: %d finding(s)\n", len(diags))

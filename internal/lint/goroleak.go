@@ -1,0 +1,344 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GoroLeak requires every go statement to have a visible join or cancel
+// path: the spawned body must use a context, a WaitGroup, or a channel that
+// outlives it (captured from the spawner or received as a parameter), or
+// the statement must carry a //dkip:leak-ok <why> suppression. A goroutine
+// with none of these can never be waited for or told to stop — the fleet
+// drills kill daemons mid-sweep, and an unjoinable goroutine is work the
+// shutdown path silently abandons. Channel and context parameters of
+// module functions are tracked through a whole-program fixpoint, so
+// `go submit(done)` counts when submit (or anything it calls) actually
+// receives or closes its parameter.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "go statements with no join or cancel path (ctx, WaitGroup, channel, or //dkip:leak-ok)",
+	New:  func() Instance { return &goroLeak{} },
+}
+
+type goroLeak struct {
+	idx    declIndex
+	passes []*Pass
+}
+
+func (g *goroLeak) Package(pass *Pass) {
+	if !isModulePath(pass.Pkg.Path()) {
+		return
+	}
+	g.idx.add(pass)
+	g.passes = append(g.passes, pass)
+}
+
+// paramObs is the fixpoint result: for each module function, which
+// parameters (by index) the function observes as a join/cancel signal —
+// receives from, sends on, closes, selects over, or passes onward into an
+// observed parameter.
+type paramObs map[*types.Func][]bool
+
+func (g *goroLeak) Finish(report Reporter) {
+	obs := g.fixParamObs()
+	for _, pass := range g.passes {
+		leakOK, _ := directiveArgs(pass.Fset, pass.Files, dirLeakOK)
+		eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+			closures := localClosures(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if u, ok := leakOK[pass.Fset.Position(gs.Pos()).Line]; ok {
+					if u.arg == "" {
+						report(gs.Pos(), "//dkip:leak-ok needs a reason: say why this goroutine is allowed to outlive its spawner")
+					}
+					return true
+				}
+				if g.spawnJoinable(pass, gs, closures, obs) {
+					return true
+				}
+				report(gs.Pos(), "goroutine has no join or cancel path: pass a context, WaitGroup, or channel that outlives it, or annotate with //dkip:leak-ok <why>")
+				return true
+			})
+		})
+	}
+}
+
+// spawnJoinable decides whether one go statement's goroutine can be joined
+// or cancelled from outside.
+func (g *goroLeak) spawnJoinable(pass *Pass, gs *ast.GoStmt, closures map[types.Object]*ast.FuncLit, obs paramObs) bool {
+	fun := ast.Unparen(gs.Call.Fun)
+	// Inline literal: evidence anywhere in the body.
+	if lit, ok := fun.(*ast.FuncLit); ok {
+		return bodyHasJoin(pass, lit.Body)
+	}
+	// Local closure: analyze the literal it was defined as.
+	if id, ok := fun.(*ast.Ident); ok {
+		if lit, ok := closures[pass.Info.Uses[id]]; ok {
+			return bodyHasJoin(pass, lit.Body)
+		}
+	}
+	// Static call: a signal-typed argument the spawner still holds counts
+	// when the callee observes that parameter (fixpoint for module
+	// functions, assumed for externals — we cannot see their bodies).
+	callee := calleeOf(pass.Info, gs.Call)
+	var calleeObs []bool
+	known := false
+	if callee != nil {
+		if o, ok := obs[callee]; ok {
+			calleeObs = o
+			known = true
+		}
+	}
+	for i, arg := range gs.Call.Args {
+		if !isSignalType(pass.Info.Types[arg].Type) {
+			continue
+		}
+		if root, _, ok := refOfExpr(pass, arg); !ok || root == nil {
+			continue // inline make(chan ...): nobody else holds it
+		}
+		if !known || paramObserved(calleeObs, i, callee) {
+			return true
+		}
+	}
+	// Method spawn with a known body and no signal args: the body itself
+	// may join through captured/receiver state.
+	if callee != nil {
+		if de := g.idx.decls[callee]; de != nil {
+			return bodyHasJoin(de.pass, de.fd.Body)
+		}
+	}
+	return false
+}
+
+// paramObserved reports whether parameter index i (of the call's argument
+// list) is observed, accounting for variadic tails.
+func paramObserved(obs []bool, i int, fn *types.Func) bool {
+	if i < len(obs) {
+		return obs[i]
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if ok && sig.Variadic() && len(obs) > 0 {
+		return obs[len(obs)-1]
+	}
+	return false
+}
+
+// isSignalType reports whether t can carry a join/cancel signal: a channel,
+// a context.Context, or a *sync.WaitGroup.
+func isSignalType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	if isContextType(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		if named, ok := p.Elem().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// bodyHasJoin reports whether a spawned body contains direct join/cancel
+// evidence: a channel operation, WaitGroup.Done, or context use on an
+// object that outlives the body (declared outside it — captured variables
+// and parameters qualify, body-locals like a fresh ticker or a
+// context.Background() result do not).
+func bodyHasJoin(pass *Pass, body *ast.BlockStmt) bool {
+	local := func(x ast.Expr) (types.Object, bool) {
+		root, _, ok := refOfExpr(pass, x)
+		if !ok || root == nil {
+			return nil, false
+		}
+		return root, root.Pos() >= body.Pos() && root.Pos() < body.End()
+	}
+	outlives := func(x ast.Expr) bool {
+		root, isLocal := local(x)
+		return root != nil && !isLocal
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if outlives(n.Chan) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && outlives(n.X) {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan && outlives(n.X) {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+				if obj.Pos() < body.Pos() || obj.Pos() >= body.End() {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case isBuiltinClose(pass, n):
+				if len(n.Args) == 1 && outlives(n.Args[0]) {
+					found = true
+				}
+			case isMethod(pass.Info, n, "sync", "WaitGroup", "Done"):
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && outlives(sel.X) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isBuiltinClose(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// fixParamObs computes, to a fixpoint over the whole module, which
+// signal-typed parameters each function observes.
+func (g *goroLeak) fixParamObs() paramObs {
+	obs := make(paramObs, len(g.idx.decls))
+	type funcRec struct {
+		fn     *types.Func
+		de     *declEntry
+		params []types.Object
+	}
+	var recs []*funcRec
+	for fn, de := range g.idx.decls {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		params := make([]types.Object, sig.Params().Len())
+		for _, field := range de.fd.Type.Params.List {
+			for _, name := range field.Names {
+				if o := de.pass.Info.Defs[name]; o != nil {
+					for i := 0; i < sig.Params().Len(); i++ {
+						if sig.Params().At(i) == o {
+							params[i] = o
+						}
+					}
+				}
+			}
+		}
+		obs[fn] = make([]bool, len(params))
+		recs = append(recs, &funcRec{fn: fn, de: de, params: params})
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].fn.FullName() < recs[j].fn.FullName() })
+	paramIndex := func(r *funcRec, x ast.Expr) int {
+		root, path, ok := refOfExpr(r.de.pass, x)
+		if !ok || path != "" {
+			return -1
+		}
+		for i, p := range r.params {
+			if p != nil && p == root {
+				return i
+			}
+		}
+		return -1
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range recs {
+			mark := func(x ast.Expr) {
+				if i := paramIndex(r, x); i >= 0 && !obs[r.fn][i] {
+					obs[r.fn][i] = true
+					changed = true
+				}
+			}
+			ast.Inspect(r.de.fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					mark(n.Chan)
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						mark(n.X)
+					}
+				case *ast.RangeStmt:
+					if tv, ok := r.de.pass.Info.Types[n.X]; ok && tv.Type != nil {
+						if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+							mark(n.X)
+						}
+					}
+				case *ast.Ident:
+					if obj := r.de.pass.Info.Uses[n]; obj != nil && isContextType(obj.Type()) {
+						// Any use of a ctx parameter counts: it is almost
+						// always threaded into a blocking call.
+						mark(n)
+					}
+				case *ast.CallExpr:
+					switch {
+					case isBuiltinClose(r.de.pass, n):
+						if len(n.Args) == 1 {
+							mark(n.Args[0])
+						}
+					case isMethod(r.de.pass.Info, n, "sync", "WaitGroup", "Done"),
+						isMethod(r.de.pass.Info, n, "sync", "WaitGroup", "Wait"):
+						if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+							mark(sel.X)
+						}
+					default:
+						// Passing a parameter onward propagates observation:
+						// into a known module function's observed parameter,
+						// or into any function we cannot see the body of
+						// (assumed to use the signal it was handed).
+						var co []bool
+						known := false
+						callee := calleeOf(r.de.pass.Info, n)
+						if callee != nil {
+							co, known = obs[callee]
+						}
+						for ai, arg := range n.Args {
+							pi := paramIndex(r, arg)
+							if pi < 0 || obs[r.fn][pi] || !isSignalType(r.params[pi].Type()) {
+								continue
+							}
+							if !known || paramObserved(co, ai, callee) {
+								obs[r.fn][pi] = true
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return obs
+}

@@ -1,0 +1,404 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// GuardedState finds receiver fields with inconsistent protection in the
+// fleet packages: a field of a mutex-bearing struct that some method
+// accesses with the receiver's mutex held and another method (or a
+// goroutine body inside a method) touches without it — the exact shape of
+// the markDown-vs-probe race PR 7 fixed under -race — and fields mixing
+// sync/atomic operations with plain loads and stores. Methods every caller
+// invokes with the mutex already held (the documented "caller holds mu"
+// helpers) are recognized by a call-site fixpoint and analyzed with the
+// lock in their entry set.
+var GuardedState = &Analyzer{
+	Name: "guardedstate",
+	Doc:  "struct fields accessed both under and outside the receiver's mutex, or with mixed atomic/plain ops",
+	New:  func() Instance { return &guardedState{} },
+}
+
+type guardedState struct {
+	passes []*Pass
+}
+
+func (g *guardedState) Package(pass *Pass) {
+	if !lockScoped[pkgBase(pass.Pkg.Path())] {
+		return
+	}
+	g.passes = append(g.passes, pass)
+}
+
+// gsAccess is one access to recv.field inside a method body.
+type gsAccess struct {
+	pos    token.Pos
+	fset   *token.FileSet
+	held   map[string]bool // receiver mutex fields held at this point
+	atomic bool
+	write  bool
+}
+
+// gsField keys one (type, field) pair.
+type gsField struct {
+	typ   *types.Named
+	field string
+}
+
+func (g *guardedState) Finish(report Reporter) {
+	// methodsOf: every method declaration of a mutex-bearing named type,
+	// plus every declaration at all (for call-site scanning).
+	type methodRec struct {
+		fd      *ast.FuncDecl
+		pass    *Pass
+		fn      *types.Func
+		typ     *types.Named
+		recvObj types.Object
+		muField []string // mutex field names of typ
+	}
+	var methods []*methodRec
+	byFn := make(map[*types.Func]*methodRec)
+	for _, pass := range g.passes {
+		pass := pass
+		eachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				return
+			}
+			rec := &methodRec{fd: fd, pass: pass, fn: fn}
+			if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				rec.recvObj = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+				if rec.recvObj != nil {
+					if named, ok := derefType(rec.recvObj.Type()).(*types.Named); ok {
+						rec.typ = named
+						rec.muField = mutexFields(named)
+					}
+				}
+			}
+			methods = append(methods, rec)
+			byFn[fn] = rec
+		})
+	}
+	sort.Slice(methods, func(i, j int) bool { return methods[i].fn.FullName() < methods[j].fn.FullName() })
+
+	// Caller-holds fixpoint: entry[fn] is the set of receiver mutex fields
+	// held at EVERY call site of fn (and at least one site exists).
+	entry := make(map[*types.Func]map[string]bool)
+	for iter := 0; iter < len(methods)+1; iter++ {
+		type siteInfo struct {
+			any  bool
+			held map[string]bool // intersection across sites
+		}
+		sites := make(map[*types.Func]*siteInfo)
+		for _, m := range methods {
+			g.walkMethod(m.pass, m.fd, m.recvObj, entry[m.fn], nil, func(call *ast.CallExpr, held []lockRef) {
+				callee := calleeOf(m.pass.Info, call)
+				target, ok := byFn[callee]
+				if !ok || target.typ == nil || len(target.muField) == 0 {
+					return
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				root, path, pinned := refOfExpr(m.pass, sel.X)
+				if !pinned || root == nil {
+					return
+				}
+				heldMu := make(map[string]bool)
+				for _, mu := range target.muField {
+					full := mu
+					if path != "" {
+						full = path + "." + mu
+					}
+					ref := lockRef{class: fieldClass(target.typ, mu), root: root, path: full}
+					if heldHasInstance(held, ref) {
+						heldMu[mu] = true
+					}
+				}
+				si := sites[callee]
+				if si == nil {
+					sites[callee] = &siteInfo{any: true, held: heldMu}
+					return
+				}
+				for mu := range si.held {
+					if !heldMu[mu] {
+						delete(si.held, mu)
+					}
+				}
+			})
+		}
+		next := make(map[*types.Func]map[string]bool)
+		for fn, si := range sites {
+			if si.any && len(si.held) > 0 {
+				next[fn] = si.held
+			}
+		}
+		if entrySetsEqual(entry, next) {
+			break
+		}
+		entry = next
+	}
+
+	// Final pass: collect per-field guarded/unguarded/atomic accesses.
+	accesses := make(map[gsField][]gsAccess)
+	for _, m := range methods {
+		if m.typ == nil || len(m.muField) == 0 {
+			continue
+		}
+		m := m
+		excluded := make(map[string]bool, len(m.muField))
+		for _, mu := range m.muField {
+			excluded[mu] = true
+		}
+		atomicSels := atomicArgSelectors(m.pass, m.fd)
+		writeSels := writeSelectors(m.fd)
+		g.walkMethod(m.pass, m.fd, m.recvObj, entry[m.fn], func(sel *ast.SelectorExpr, held []lockRef) {
+			s, ok := m.pass.Info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return
+			}
+			root, path, pinned := refOfExpr(m.pass, sel)
+			if !pinned || root != m.recvObj {
+				return
+			}
+			field := sel.Sel.Name
+			if path != field {
+				return // nested access like recv.sub.f: attribute to the top field only
+			}
+			if excluded[field] || isSyncType(s.Obj().Type()) {
+				return
+			}
+			heldMu := make(map[string]bool)
+			for _, mu := range m.muField {
+				ref := lockRef{class: fieldClass(m.typ, mu), root: m.recvObj, path: mu}
+				if heldHasInstance(held, ref) {
+					heldMu[mu] = true
+				}
+			}
+			accesses[gsField{m.typ, field}] = append(accesses[gsField{m.typ, field}], gsAccess{
+				pos:    sel.Pos(),
+				fset:   m.pass.Fset,
+				held:   heldMu,
+				atomic: atomicSels[sel.Pos()],
+				write:  writeSels[sel.Pos()],
+			})
+		}, nil)
+	}
+
+	// Report: per field, a mutex some accesses hold and others do not; and
+	// mixed atomic/plain access.
+	var keys []gsField
+	for k := range accesses {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.typ.Obj().Name() != b.typ.Obj().Name() {
+			return a.typ.Obj().Name() < b.typ.Obj().Name()
+		}
+		return a.field < b.field
+	})
+	for _, k := range keys {
+		accs := accesses[k]
+		tname := pkgBase(k.typ.Obj().Pkg().Path()) + "." + k.typ.Obj().Name()
+		var mus []string
+		seen := map[string]bool{}
+		for _, a := range accs {
+			for mu := range a.held {
+				if !seen[mu] {
+					seen[mu] = true
+					mus = append(mus, mu)
+				}
+			}
+		}
+		sort.Strings(mus)
+		for _, mu := range mus {
+			guarded, unguarded, guardedWrites, unguardedWrites := 0, 0, 0, 0
+			var first *gsAccess
+			for i, a := range accs {
+				if a.atomic {
+					continue
+				}
+				if a.held[mu] {
+					guarded++
+					if a.write {
+						guardedWrites++
+					}
+				} else {
+					unguarded++
+					if a.write {
+						unguardedWrites++
+					}
+					if first == nil || posLess(a.fset, a.pos, first.pos) {
+						first = &accs[i]
+					}
+				}
+			}
+			// A race needs a write: a locked writer racing unguarded
+			// access, or an unguarded writer racing locked readers. Fields
+			// only ever read in methods (set once at construction) are
+			// immutable as far as the methods are concerned.
+			if (guardedWrites > 0 && unguarded > 0) || (unguardedWrites > 0 && guarded > 0) {
+				report(first.pos, "%s.%s is accessed without %s.%s held (%d unguarded vs %d guarded sites, %d guarded writes): concurrent method calls race on this field", tname, k.field, tname, mu, unguarded, guarded, guardedWrites)
+			}
+		}
+		atomicN, plainN, writes := 0, 0, 0
+		var firstPlain *gsAccess
+		for i, a := range accs {
+			if a.atomic {
+				atomicN++
+				writes++ // assume atomic ops include writers (Add/Store/Swap)
+			} else {
+				plainN++
+				if a.write {
+					writes++
+				}
+				if firstPlain == nil || posLess(a.fset, a.pos, firstPlain.pos) {
+					firstPlain = &accs[i]
+				}
+			}
+		}
+		if atomicN > 0 && plainN > 0 && writes > 0 {
+			report(firstPlain.pos, "%s.%s mixes sync/atomic and plain access: plain loads race the atomic writers — use atomic for every access or guard all of them with the mutex", tname, k.field)
+		}
+	}
+}
+
+// walkMethod runs the held walker over one declaration with the inferred
+// caller-holds entry set.
+func (g *guardedState) walkMethod(pass *Pass, fd *ast.FuncDecl, recvObj types.Object, entryMu map[string]bool, onAccess func(*ast.SelectorExpr, []lockRef), onCall func(*ast.CallExpr, []lockRef)) {
+	var entry []lockRef
+	if recvObj != nil && entryMu != nil {
+		if named, ok := derefType(recvObj.Type()).(*types.Named); ok {
+			for mu := range entryMu {
+				entry = append(entry, lockRef{class: fieldClass(named, mu), root: recvObj, path: mu})
+			}
+		}
+	}
+	w := &heldWalker{pass: pass, owner: fd.Name.Name, onAccess: onAccess, onCall: onCall}
+	w.walkFunc(fd.Body, entry)
+}
+
+// mutexFields lists the names of named's direct sync.Mutex/RWMutex fields.
+func mutexFields(named *types.Named) []string {
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		if isSyncLocker(st.Field(i).Type()) {
+			out = append(out, st.Field(i).Name())
+		}
+	}
+	return out
+}
+
+// fieldClass names a field's lock class the same way classOfMutexExpr does.
+func fieldClass(named *types.Named, field string) string {
+	return pkgBase(named.Obj().Pkg().Path()) + "." + named.Obj().Name() + "." + field
+}
+
+// isSyncType excludes fields whose type carries its own synchronization
+// (sync.* and sync/atomic.* types) from the guarded-state accounting.
+func isSyncType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// atomicArgSelectors records the positions of recv-field selectors passed
+// by address into sync/atomic functions (atomic.AddUint64(&s.n, 1)): those
+// accesses are atomic, not plain.
+func atomicArgSelectors(pass *Pass, fd *ast.FuncDecl) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op != token.AND {
+				continue
+			}
+			if sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr); ok {
+				out[sel.Pos()] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writeSelectors records the positions of selector expressions that write:
+// assignment left-hand sides, ++/--, and address-taken fields (a pointer
+// handed out can be written through).
+func writeSelectors(fd *ast.FuncDecl) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			out[sel.Pos()] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				mark(n.X)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func entrySetsEqual(a, b map[*types.Func]map[string]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fn, am := range a {
+		bm, ok := b[fn]
+		if !ok || len(am) != len(bm) {
+			return false
+		}
+		for mu := range am {
+			if !bm[mu] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func posLess(fset *token.FileSet, a, b token.Pos) bool {
+	pa, pb := fset.Position(a), fset.Position(b)
+	if pa.Filename != pb.Filename {
+		return pa.Filename < pb.Filename
+	}
+	if pa.Line != pb.Line {
+		return pa.Line < pb.Line
+	}
+	return pa.Column < pb.Column
+}

@@ -85,12 +85,12 @@ func Run(pkgs []*Package, fset *token.FileSet, analyzers []*Analyzer) []Diagnost
 
 // All returns the full dkipvet suite.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, HotAlloc, CtxHygiene, WireCheck}
+	return []*Analyzer{Determinism, HotAlloc, CtxHygiene, WireCheck, LockOrder, GoroLeak, GuardedState}
 }
 
 // ---- annotation directives -------------------------------------------------
 
-// The suite understands three comment directives, written with no space
+// The suite understands five comment directives, written with no space
 // after // like all Go tool directives:
 //
 //	//dkip:hotpath      on a function: root of the static alloc-free walk
@@ -99,12 +99,52 @@ func All() []*Analyzer {
 //	//dkip:alloc-ok <why>  on or directly above a line: suppresses one
 //	                    allocation finding (amortized growth the dynamic
 //	                    gate already bounds)
+//	//dkip:leak-ok <why>   on or directly above a go statement: suppresses
+//	                    the goroleak join-path requirement (the reason is
+//	                    mandatory)
+//	//dkip:locks-after <class>  on a mutex field declaration: declares that
+//	                    this mutex is acquired while <class> is held,
+//	                    sanctioning that edge in lockorder's acquisition
+//	                    graph (a self-class declares an intentional
+//	                    multi-instance order)
 
 const (
-	dirHotpath  = "dkip:hotpath"
-	dirColdpath = "dkip:coldpath"
-	dirAllocOK  = "dkip:alloc-ok"
+	dirHotpath    = "dkip:hotpath"
+	dirColdpath   = "dkip:coldpath"
+	dirAllocOK    = "dkip:alloc-ok"
+	dirLeakOK     = "dkip:leak-ok"
+	dirLocksAfter = "dkip:locks-after"
 )
+
+// directiveArgs collects, per file set, every occurrence of a directive:
+// the covered source lines (the directive's own line and the line after it,
+// so both trailing and comment-above placements work) mapped to the
+// directive's argument text, plus the position of each occurrence.
+type directiveUse struct {
+	pos token.Pos
+	arg string
+}
+
+func directiveArgs(fset *token.FileSet, files []*ast.File, dir string) (map[int]directiveUse, []directiveUse) {
+	lines := make(map[int]directiveUse)
+	var all []directiveUse
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if text != dir && !strings.HasPrefix(text, dir+" ") {
+					continue
+				}
+				use := directiveUse{pos: c.Pos(), arg: strings.TrimSpace(strings.TrimPrefix(text, dir))}
+				all = append(all, use)
+				line := fset.Position(c.Pos()).Line
+				lines[line] = use
+				lines[line+1] = use
+			}
+		}
+	}
+	return lines, all
+}
 
 // funcDirective reports whether the function declaration's doc comment
 // carries the directive.

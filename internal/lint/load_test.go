@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The loader's happy path is exercised by every golden test; these tests
+// cover the error paths: source that does not parse, source that does not
+// type-check, patterns that match nothing in the module, patterns go list
+// itself rejects, and an import with no export data behind it.
+
+// writeTempModule lays out a throwaway module and returns its root.
+func writeTempModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadUnparseableSource(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"bad/bad.go": "package bad\n\nfunc Broken( {\n",
+	})
+	_, _, err := Load(dir, "./bad")
+	if err == nil {
+		t.Fatal("Load succeeded on a package with a syntax error")
+	}
+	// go list itself reports the parse failure before the loader's own
+	// parser would; either layer naming the file is acceptable.
+	if !strings.Contains(err.Error(), "bad.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadTypeCheckError(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"ill/ill.go": "package ill\n\nfunc F() int { return \"not an int\" }\n",
+	})
+	_, _, err := Load(dir, "./ill")
+	if err == nil {
+		t.Fatal("Load succeeded on a package that does not type-check")
+	}
+}
+
+func TestLoadEmptyPattern(t *testing.T) {
+	// A pattern that resolves only to non-module packages (here the
+	// standard library) leaves nothing to analyze.
+	dir := writeTempModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	_, _, err := Load(dir, "fmt")
+	if err == nil {
+		t.Fatal("Load succeeded with no module packages matched")
+	}
+	if !strings.Contains(err.Error(), "no module packages matched") {
+		t.Errorf("unexpected error for stdlib-only pattern: %v", err)
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	dir := writeTempModule(t, map[string]string{
+		"ok/ok.go": "package ok\n",
+	})
+	_, _, err := Load(dir, "./does-not-exist")
+	if err == nil {
+		t.Fatal("Load succeeded on a nonexistent directory pattern")
+	}
+}
+
+func TestLookupExportMissing(t *testing.T) {
+	ld := &loader{metas: map[string]*meta{}}
+	if _, err := ld.lookupExport("nope/nowhere"); err == nil {
+		t.Fatal("lookupExport returned no error for an unknown path")
+	} else if !strings.Contains(err.Error(), "no export data") {
+		t.Errorf("unexpected lookupExport error: %v", err)
+	}
+	// A listed package whose Export was never materialized (go list ran
+	// without -export, or the build failed) must fail the same way.
+	ld.metas["tmpmod/x"] = &meta{pkg: &listPkg{ImportPath: "tmpmod/x"}}
+	if _, err := ld.lookupExport("tmpmod/x"); err == nil {
+		t.Fatal("lookupExport returned no error for a package with empty export data")
+	}
+}

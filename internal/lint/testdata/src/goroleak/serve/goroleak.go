@@ -1,0 +1,123 @@
+// Package serve seeds goroleak violations: goroutines spawned with no join
+// or cancel path, next to the joinable forms (WaitGroup, captured done
+// channel, context, observed channel parameters) and the suppression
+// directive that must stay silent.
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// fire is the bare spawn: nothing outside the goroutine can stop or await it.
+func fire() {
+	go func() { // want "goroutine has no join or cancel path"
+		for {
+			_ = 0
+		}
+	}()
+}
+
+// fanout joins through the captured WaitGroup.
+func fanout(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// watch hands back a done channel the goroutine closes.
+func watch() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	return done
+}
+
+// poll is cancellable through the captured context.
+func poll(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// tick only touches a goroutine-local ticker: that is not a join path.
+func tick() {
+	go func() { // want "goroutine has no join or cancel path"
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for range t.C {
+			_ = 0
+		}
+	}()
+}
+
+// detach builds its own background context inside the body — nobody outside
+// holds a cancel handle, so it is as unjoinable as fire.
+func detach() {
+	go func() { // want "goroutine has no join or cancel path"
+		ctx := context.Background()
+		use(ctx)
+	}()
+}
+
+func use(ctx context.Context) { _ = ctx }
+
+// submitAll spawns a local closure; the closure sends on the captured
+// channel, so the spawner (or its caller) can drain it.
+func submitAll(ch chan int) {
+	submit := func(v int) {
+		ch <- v
+	}
+	go submit(1)
+}
+
+// spawnWorker passes its done channel two levels down: worker hands it to
+// waitDone, which receives — the observed-parameter fixpoint carries the
+// evidence back to the go statement.
+func spawnWorker(done chan struct{}) {
+	go worker(done)
+}
+
+func worker(done chan struct{}) {
+	waitDone(done)
+}
+
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// spawnDeaf also passes a channel, but deaf never listens: no join path.
+func spawnDeaf(done chan struct{}) {
+	go deaf(done) // want "goroutine has no join or cancel path"
+}
+
+func deaf(done chan struct{}) {
+	_ = done
+}
+
+// daemonize is suppressed with a reasoned directive.
+func daemonize() {
+	//dkip:leak-ok detached process-lifetime flusher, exits with the binary
+	go func() {
+		for {
+			_ = 0
+		}
+	}()
+}
+
+// sloppy carries the directive without a reason, which is its own finding.
+func sloppy() {
+	//dkip:leak-ok
+	go func() { // want "dkip:leak-ok needs a reason"
+		for {
+			_ = 0
+		}
+	}()
+}

@@ -1,0 +1,110 @@
+// Package serve seeds guardedstate violations: fields written under the
+// receiver's mutex and read without it (the markDown-vs-probe shape),
+// unguarded access from a goroutine inside a method, and mixed atomic/plain
+// access — next to the caller-holds helper and read-only constructor-set
+// field patterns that must stay silent.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tracker.gen is written under mu in bump but read bare in peek.
+type tracker struct {
+	mu  sync.Mutex
+	gen int
+}
+
+func (t *tracker) bump() {
+	t.mu.Lock()
+	t.gen++
+	t.mu.Unlock()
+}
+
+func (t *tracker) peek() int {
+	return t.gen // want "tracker.gen is accessed without"
+}
+
+// prober.start writes probing under the lock, then spawns a goroutine that
+// writes it with no lock at all — locks do not cross goroutine boundaries.
+type prober struct {
+	mu      sync.Mutex
+	probing bool
+	done    chan struct{}
+}
+
+func (p *prober) start() {
+	p.mu.Lock()
+	p.probing = true
+	p.mu.Unlock()
+	go func() {
+		p.probing = false // want "prober.probing is accessed without"
+		close(p.done)
+	}()
+}
+
+// ledger.addLocked touches entries bare, but every call site holds l.mu —
+// the caller-holds inference keeps it clean.
+type ledger struct {
+	mu      sync.Mutex
+	entries int
+}
+
+func (l *ledger) add(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.addLocked(n)
+}
+
+func (l *ledger) drain() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.entries
+	l.addLocked(-n)
+	return n
+}
+
+// addLocked mutates entries; callers hold l.mu.
+func (l *ledger) addLocked(n int) {
+	l.entries += n
+}
+
+// hits.n is bumped atomically and read plainly: the plain load races the
+// atomic writers.
+type hits struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (h *hits) hit() {
+	atomic.AddUint64(&h.n, 1)
+}
+
+func (h *hits) read() uint64 {
+	return h.n // want "hits.n mixes sync/atomic and plain access"
+}
+
+// cache.limit is set once at construction and only read in methods — one of
+// the reads happens to sit inside a locked section, which is not evidence
+// of a race (no method ever writes it).
+type cache struct {
+	mu    sync.Mutex
+	limit int
+	items int
+}
+
+func newCache(limit int) *cache { return &cache{limit: limit} }
+
+func (c *cache) put() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items++
+	if c.items > c.limit {
+		c.items = 0
+	}
+}
+
+func (c *cache) cap() int {
+	return c.limit
+}
