@@ -1,8 +1,8 @@
 // Command bench emits a machine-readable throughput snapshot of the raw
-// simulator: sustained instrs/s and allocation counts per architecture, for
-// exactly the spec set the root harness's BenchmarkSimulatorRaw measures
-// (default D-KIP on swim, R10-64 on mcf; memo cache disabled, so every
-// iteration re-simulates).
+// simulator: sustained instrs/s and allocation counts per architecture —
+// the spec set the root harness's BenchmarkSimulatorRaw measures (default
+// D-KIP on swim, R10-64 on mcf; memo cache disabled, so every iteration
+// re-simulates) plus the in-order calibration core on swim.
 //
 // The snapshot is written as one labeled entry in a JSON file, so a single
 // file can carry a trajectory:
@@ -26,8 +26,6 @@ import (
 	"sort"
 	"time"
 
-	"dkip/internal/core"
-	"dkip/internal/ooo"
 	"dkip/internal/sim"
 )
 
@@ -65,8 +63,9 @@ func main() {
 	}
 
 	specs := map[string]sim.RunSpec{
-		"dkip": sim.DKIPSpec("swim", core.Config{}, *warmup, *measure),
-		"ooo":  sim.OOOSpec("mcf", ooo.R10K64(), *warmup, *measure),
+		"dkip":    sim.MustPresetSpec("dkip", "swim", *warmup, *measure),
+		"ooo":     sim.MustPresetSpec("r10-64", "mcf", *warmup, *measure),
+		"inorder": sim.MustPresetSpec("inorder", "swim", *warmup, *measure),
 	}
 
 	snap := snapshot{

@@ -4,8 +4,6 @@ import (
 	"sort"
 	"testing"
 
-	"dkip/internal/core"
-	"dkip/internal/ooo"
 	"dkip/internal/sim"
 )
 
@@ -13,9 +11,9 @@ import (
 // the determinism finding dkipvet pinned on the bench harness.
 func TestMeasureOrderSorted(t *testing.T) {
 	specs := map[string]sim.RunSpec{
-		"ooo":  sim.OOOSpec("mcf", ooo.R10K64(), 10, 10),
-		"dkip": sim.DKIPSpec("swim", core.Config{}, 10, 10),
-		"zeta": sim.DKIPSpec("swim", core.Config{}, 10, 10),
+		"ooo":  sim.MustPresetSpec("r10-64", "mcf", 10, 10),
+		"dkip": sim.MustPresetSpec("dkip", "swim", 10, 10),
+		"zeta": sim.MustPresetSpec("inorder", "swim", 10, 10),
 	}
 	for i := 0; i < 16; i++ {
 		got := measureOrder(specs)

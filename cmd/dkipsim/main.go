@@ -6,19 +6,23 @@
 //	dkipsim -arch dkip -bench swim -n 200000
 //	dkipsim -arch r10-64 -bench mcf
 //	dkipsim -arch kilo -bench applu -l2 2097152
+//	dkipsim -arch inorder -bench swim
 //	dkipsim -arch limit -window 4096 -bench art
 //	dkipsim -arch dkip -cp ino -mp ooo -mpq 40 -bench equake
 //	dkipsim -arch dkip -bench swim -json
 //	dkipsim -arch dkip -bench swim -cache-dir ~/.cache/dkip
 //	dkipsim -list
 //
-// The flags assemble one sim.RunSpec which executes through the same
-// run-orchestration layer as cmd/experiments; -json prints the structured
-// sim.Result record instead of the human-readable summary. -cache-dir
-// shares cmd/experiments' persistent result store (a repeated run is served
-// from disk); -shard i/n exits without simulating when the spec is not
-// assigned to shard i — the building block for driving many dkipsim
-// processes over a partitioned run matrix.
+// -arch takes a machine preset (sim.PresetNames: the paper machines plus the
+// in-order calibration core), a bare engine name as printed in sim.Result
+// records (sim.ParseArch: the engine with its paper-default configuration),
+// or "limit" for the window-limit study core. The flags assemble one
+// sim.RunSpec which executes through the same run-orchestration layer as
+// cmd/experiments; -json prints the structured sim.Result record instead of
+// the human-readable summary. -cache-dir shares cmd/experiments' persistent
+// result store (a repeated run is served from disk); -shard i/n exits
+// without simulating when the spec is not assigned to shard i — the building
+// block for driving many dkipsim processes over a partitioned run matrix.
 package main
 
 import (
@@ -28,10 +32,7 @@ import (
 	"strings"
 	"time"
 
-	"dkip/internal/core"
-	"dkip/internal/kilo"
 	"dkip/internal/mem"
-	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
 	"dkip/internal/sim"
 	"dkip/internal/trace"
@@ -40,7 +41,7 @@ import (
 
 func main() {
 	var (
-		arch      = flag.String("arch", "dkip", "architecture: dkip, r10-64, r10-256, r10-768, kilo, limit")
+		arch      = flag.String("arch", "dkip", "machine preset ("+strings.Join(sim.PresetNames(), ", ")+"), engine name, or limit")
 		bench     = flag.String("bench", "swim", "benchmark name (see -list)")
 		n         = flag.Uint64("n", 200_000, "instructions to measure")
 		warmup    = flag.Uint64("warmup", 20_000, "instructions to warm up (not measured)")
@@ -73,36 +74,59 @@ func main() {
 	mc := mem.DefaultConfig()
 	mc.L2Size = *l2
 	mc.MemLatency = *memLat
+	var l2Set, memLatSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "l2":
+			l2Set = true
+		case "memlat":
+			memLatSet = true
+		}
+	})
 
 	// Assemble the RunSpec for the selected architecture.
 	var spec sim.RunSpec
-	withMem := func(cfg ooo.Config) sim.RunSpec {
-		cfg.Mem = mc
-		return sim.OOOSpec(*bench, cfg, *warmup, *n)
-	}
-	switch strings.ToLower(*arch) {
-	case "r10-64":
-		spec = withMem(ooo.R10K64())
-	case "r10-256":
-		spec = withMem(ooo.R10K256())
-	case "r10-768":
-		spec = withMem(ooo.R10K768())
-	case "kilo":
-		spec = withMem(kilo.Config1024())
+	switch name := strings.ToLower(*arch); name {
 	case "limit":
-		spec = withMem(ooo.LimitCore(*window, mc))
+		spec = sim.LimitSpec(*window, mc, *bench, *warmup, *n)
 	case "dkip":
-		spec = sim.DKIPSpec(*bench, core.Config{
-			CPInOrder: *cpPol == "ino",
-			MPInOrder: core.Bool(*mpPol == "ino"),
-			CPIQSize:  *cpq,
-			MPIQSize:  *mpq,
-			LLIBSize:  *llib,
-			Mem:       mc,
-		}, *warmup, *n)
+		spec = sim.MustPresetSpec("dkip", *bench, *warmup, *n)
+		spec.DKIP.CPInOrder = *cpPol == "ino"
+		spec.DKIP.MPInOrder = sim.Bool(*mpPol == "ino")
+		spec.DKIP.CPIQSize = *cpq
+		spec.DKIP.MPIQSize = *mpq
+		spec.DKIP.LLIBSize = *llib
+		spec.DKIP.Mem = mc
 	default:
-		fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
-		os.Exit(1)
+		s, err := sim.PresetSpec(name, *bench, *warmup, *n)
+		if err != nil {
+			// Not a preset: accept a bare engine name (as printed in
+			// sim.Result records) with its paper-default configuration.
+			a, perr := sim.ParseArch(name)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			s = sim.RunSpec{Arch: a, Bench: *bench, Warmup: *warmup, Measure: *n}
+		}
+		spec = s
+		switch spec.Arch {
+		case sim.ArchOOO:
+			spec.OOO.Mem = mc
+		case sim.ArchDKIP:
+			spec.DKIP.Mem = mc
+		case sim.ArchInorder:
+			// The in-order preset's memory system (the SG2042 socket) is
+			// part of the machine: override only what was explicitly
+			// flagged.
+			spec.Inorder.Mem = spec.Inorder.Mem.WithDefaults()
+			if l2Set {
+				spec.Inorder.Mem.L2Size = *l2
+			}
+			if memLatSet {
+				spec.Inorder.Mem.MemLatency = *memLat
+			}
+		}
 	}
 
 	var res *sim.Result

@@ -8,15 +8,16 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"dkip/internal/core"
 	"dkip/internal/mem"
-	"dkip/internal/ooo"
+	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
 func main() {
 	sizes := []int{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+	runner := sim.NewRunner()
 
 	for _, bench := range []string{"apsi", "twolf"} {
 		prof, _ := workload.Lookup(bench)
@@ -27,10 +28,14 @@ func main() {
 		}
 		fmt.Println()
 
-		row := func(name string, run func(l2 int) float64) (first, last float64) {
+		row := func(name string, spec func(l2 int) sim.RunSpec) (first, last float64) {
 			fmt.Printf("  %-10s", name)
 			for i, s := range sizes {
-				v := run(s)
+				res, err := runner.Run(spec(s))
+				if err != nil {
+					log.Fatal(err)
+				}
+				v := res.Stats.IPC()
 				if i == 0 {
 					first = v
 				}
@@ -41,20 +46,15 @@ func main() {
 			return first, last
 		}
 
-		b0, b1 := row("R10-256", func(l2 int) float64 {
-			g := workload.MustNew(bench)
-			cfg := ooo.R10K256()
-			cfg.Mem = mem.DefaultConfig().WithL2Size(l2)
-			p := ooo.New(cfg)
-			p.Hierarchy().Warm(g.WarmRanges())
-			return p.Run(g, 15_000, 80_000).IPC()
+		b0, b1 := row("R10-256", func(l2 int) sim.RunSpec {
+			spec := sim.MustPresetSpec("r10-256", bench, 15_000, 80_000)
+			spec.OOO.Mem = mem.DefaultConfig().WithL2Size(l2)
+			return spec
 		})
-		d0, d1 := row("D-KIP", func(l2 int) float64 {
-			g := workload.MustNew(bench)
-			cfg := core.Config{Mem: mem.DefaultConfig().WithL2Size(l2)}
-			p := core.New(cfg)
-			p.Hierarchy().Warm(g.WarmRanges())
-			return p.Run(g, 15_000, 80_000).IPC()
+		d0, d1 := row("D-KIP", func(l2 int) sim.RunSpec {
+			spec := sim.MustPresetSpec("dkip", bench, 15_000, 80_000)
+			spec.DKIP.Mem = mem.DefaultConfig().WithL2Size(l2)
+			return spec
 		})
 		fmt.Printf("  64KB->4MB speedup: R10-256 %.2fx, D-KIP %.2fx\n\n", b1/b0, d1/d0)
 	}

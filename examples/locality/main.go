@@ -10,20 +10,21 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"strings"
 
 	"dkip/internal/mem"
-	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
-	"dkip/internal/workload"
+	"dkip/internal/sim"
 )
 
 func main() {
 	const bench = "equake"
-	g := workload.MustNew(bench)
-	p := ooo.New(ooo.LimitCore(4096, mem.DefaultConfig()))
-	p.Hierarchy().Warm(g.WarmRanges())
-	st := p.Run(g, 20_000, 150_000)
+	res, err := sim.NewRunner().Run(sim.LimitSpec(4096, mem.DefaultConfig(), bench, 20_000, 150_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
 
 	fmt.Printf("decode -> issue distance, %s, unlimited window, 400-cycle memory\n\n", bench)
 	h := &st.IssueLat

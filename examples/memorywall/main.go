@@ -9,14 +9,16 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"strings"
 
 	"dkip/internal/mem"
-	"dkip/internal/ooo"
+	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
 func main() {
+	runner := sim.NewRunner()
 	windows := []int{32, 64, 128, 256, 512, 1024, 2048, 4096}
 	configs := []mem.Config{
 		mem.Table1Configs()[0], // L1-2: perfect L1
@@ -31,13 +33,13 @@ func main() {
 			var peak float64
 			ipcs := make([]float64, len(windows))
 			for i, w := range windows {
-				g := workload.MustNew(bench)
-				proc := ooo.New(ooo.LimitCore(w, mc))
-				proc.Hierarchy().Warm(g.WarmRanges())
-				st := proc.Run(g, 10_000, 60_000)
-				ipcs[i] = st.IPC()
-				if st.IPC() > peak {
-					peak = st.IPC()
+				res, err := runner.Run(sim.LimitSpec(w, mc, bench, 10_000, 60_000))
+				if err != nil {
+					log.Fatal(err)
+				}
+				ipcs[i] = res.Stats.IPC()
+				if ipcs[i] > peak {
+					peak = ipcs[i]
 				}
 			}
 			for i, w := range windows {

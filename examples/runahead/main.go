@@ -11,38 +11,37 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"dkip/internal/core"
-	"dkip/internal/ooo"
+	"dkip/internal/sim"
 	"dkip/internal/workload"
 )
 
 func main() {
 	const warmup, measure = 15_000, 80_000
+	runner := sim.NewRunner()
+	ipc := func(spec sim.RunSpec) float64 {
+		res, err := runner.Run(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Stats.IPC()
+	}
 
 	for _, bench := range []string{"applu", "mcf"} {
 		prof, _ := workload.Lookup(bench)
 		fmt.Printf("%s (%s)\n", bench, prof.Suite)
 
-		base := ooo.R10K64()
-		fmt.Printf("  %-22s IPC %.3f\n", "R10-64", runOOO(base, bench, warmup, measure))
+		base := sim.MustPresetSpec("r10-64", bench, warmup, measure)
+		fmt.Printf("  %-22s IPC %.3f\n", "R10-64", ipc(base))
 
-		ra := ooo.R10K64()
-		ra.RunaheadDepth = 256
-		fmt.Printf("  %-22s IPC %.3f\n", "R10-64 + runahead", runOOO(ra, bench, warmup, measure))
+		ra := sim.MustPresetSpec("r10-64", bench, warmup, measure)
+		ra.OOO.RunaheadDepth = 256
+		fmt.Printf("  %-22s IPC %.3f\n", "R10-64 + runahead", ipc(ra))
 
-		g := workload.MustNew(bench)
-		p := core.New(core.Config{})
-		p.Hierarchy().Warm(g.WarmRanges())
-		fmt.Printf("  %-22s IPC %.3f\n\n", "D-KIP-2048", p.Run(g, warmup, measure).IPC())
+		dkip := sim.MustPresetSpec("dkip", bench, warmup, measure)
+		fmt.Printf("  %-22s IPC %.3f\n\n", "D-KIP-2048", ipc(dkip))
 	}
 	fmt.Println("runahead recovers part of the gap on streaming code (prefetching),")
 	fmt.Println("almost none on pointer chains; the D-KIP executes the slices for real.")
-}
-
-func runOOO(cfg ooo.Config, bench string, warmup, measure uint64) float64 {
-	g := workload.MustNew(bench)
-	p := ooo.New(cfg)
-	p.Hierarchy().Warm(g.WarmRanges())
-	return p.Run(g, warmup, measure).IPC()
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"dkip/internal/engine"
 	"dkip/internal/isa"
 )
 
@@ -16,23 +17,23 @@ func advTestProcessor() *Processor {
 
 func TestAdvanceCycleDidWork(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = true
-	p.ev.Schedule(500, 1)
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d after work, want 11", p.cycle)
+	p.Cycle = 10
+	p.DidWork = true
+	p.EV.Schedule(500, 1)
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d after work, want 11", p.Cycle)
 	}
 }
 
 func TestAdvanceCycleIdleSkipsToNextEvent(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(100, 1)
-	p.advanceCycle()
-	if p.cycle != 100 {
-		t.Fatalf("cycle = %d, want skip to 100", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(100, 1)
+	p.AdvanceCycle()
+	if p.Cycle != 100 {
+		t.Fatalf("cycle = %d, want skip to 100", p.Cycle)
 	}
 }
 
@@ -40,25 +41,25 @@ func TestAdvanceCycleDueCandidateOverridesFutureOne(t *testing.T) {
 	// A due fetch head must pin the machine to the next cycle even though
 	// the completion event is far out — and vice versa.
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(100, 1)
-	p.fq[0] = fetchEntry{ready: 5}
-	p.fqHead, p.fqLen = 0, 1
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(100, 1)
+	p.FQ[0] = engine.FetchEntry{Ready: 5}
+	p.FQHead, p.FQLen = 0, 1
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.Cycle)
 	}
 
 	p = advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(11, 1)
-	p.fq[0] = fetchEntry{ready: 100}
-	p.fqHead, p.fqLen = 0, 1
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d, want 11 (event already due)", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(11, 1)
+	p.FQ[0] = engine.FetchEntry{Ready: 100}
+	p.FQHead, p.FQLen = 0, 1
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event already due)", p.Cycle)
 	}
 }
 
@@ -66,27 +67,28 @@ func TestAdvanceCycleSkipsToAnalyzeDeadline(t *testing.T) {
 	// An instruction waiting out the Aging-ROB timer is a wake-up source:
 	// the skip must stop at its aging deadline.
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	e := p.win.Alloc(0, isa.Instr{Op: isa.IntALU, Dest: isa.IntReg(1)}, 1)
+	p.Cycle = 10
+	p.DidWork = false
+	e := p.Win.Alloc(0, isa.Instr{Op: isa.IntALU, Dest: isa.IntReg(1)}, 1)
 	e.RenameCycle = 8
-	p.renameSeq = 1
+	p.RenameSeq = 1
 	p.analyzeSeq = 0
-	p.ev.Schedule(500, 2)
-	p.advanceCycle()
+	p.EV.Schedule(500, 2)
+	p.AdvanceCycle()
 	want := int64(8 + p.cfg.ROBTimer)
-	if p.cycle != want {
-		t.Fatalf("cycle = %d, want aging deadline %d", p.cycle, want)
+	if p.Cycle != want {
+		t.Fatalf("cycle = %d, want aging deadline %d", p.Cycle, want)
 	}
 }
 
-func TestAdvanceCycleDrainsCheckpointsWhenSlowPathEmpty(t *testing.T) {
+func TestEndCycleDrainsCheckpointsWhenSlowPathEmpty(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = true
+	p.Cycle = 10
+	p.DidWork = true
 	p.ckptSeqs = append(p.ckptSeqs, 1, 2)
 	p.ckptDepth = 2
-	p.advanceCycle()
+	p.EndCycle(nil)
+	p.AdvanceCycle()
 	if p.ckptDepth != 0 || len(p.ckptSeqs) != 0 {
 		t.Fatalf("checkpoint stack not drained: depth %d, %d seqs", p.ckptDepth, len(p.ckptSeqs))
 	}
@@ -94,13 +96,13 @@ func TestAdvanceCycleDrainsCheckpointsWhenSlowPathEmpty(t *testing.T) {
 
 func TestAdvanceCycleDeadlockPanics(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.fetchStalled = true
+	p.Cycle = 10
+	p.DidWork = false
+	p.FetchStalled = true
 	defer func() {
 		if recover() == nil {
 			t.Fatal("stall with no pending events must panic")
 		}
 	}()
-	p.advanceCycle()
+	p.AdvanceCycle()
 }

@@ -87,10 +87,10 @@ func TestLongRunMemoryBounded(t *testing.T) {
 		t.Errorf("long run allocated %.3f bytes per instruction (total %d over %d instrs), want ~0",
 			perInstr, after.TotalAlloc-before.TotalAlloc, instrs)
 	}
-	bound := p.win.Capacity() * 2
+	bound := p.Win.Capacity() * 2
 	for _, llib := range []*LLIB{p.llibInt, p.llibFP} {
 		if c := llib.fifo.Cap(); c > bound {
-			t.Errorf("LLIB ring grew to %d slots (window %d): capacity scales with run length", c, p.win.Capacity())
+			t.Errorf("LLIB ring grew to %d slots (window %d): capacity scales with run length", c, p.Win.Capacity())
 		}
 	}
 	if c := cap(p.ckptSeqs); c > 4*p.cfg.CheckpointStackSize {

@@ -3,31 +3,21 @@ package core
 import (
 	"fmt"
 
+	"dkip/internal/engine"
 	"dkip/internal/isa"
 	"dkip/internal/mem"
 	"dkip/internal/pipeline"
-	"dkip/internal/predictor"
 	"dkip/internal/trace"
 )
 
-// fetchEntry is one instruction buffered between fetch and rename.
-type fetchEntry struct {
-	in         isa.Instr
-	fetchCycle int64
-	ready      int64
-	mispred    bool
-	lowConf    bool
-}
-
-// Processor is one D-KIP instance: Cache Processor, dual LLIBs with LLRFs,
-// dual Memory Processors, Address Processor, and checkpointing stack.
-// Construct with New; Run simulates a workload.
+// Processor is one D-KIP instance: an engine.Model contributing the Cache
+// Processor, dual LLIBs with LLRFs, dual Memory Processors, Address
+// Processor, and checkpointing stack. Construct with New; Run simulates a
+// workload.
 type Processor struct {
-	cfg Config
+	engine.Engine
 
-	win *pipeline.Window
-	sb  *pipeline.Scoreboard
-	ev  pipeline.EventQueue
+	cfg Config
 
 	// Cache Processor.
 	cpInt, cpFP *pipeline.IssueQueue
@@ -41,23 +31,9 @@ type Processor struct {
 	mpInt, mpFP  *pipeline.IssueQueue
 	mpFUI, mpFUF *pipeline.FUPool
 
-	// Address Processor state.
-	hier      *mem.Hierarchy
-	lsqCount  int
-	missCount int // outstanding off-chip misses (MSHR occupancy)
-
-	bp *predictor.Stats
-
-	// Front end.
-	fq            []fetchEntry
-	fqHead, fqLen int
-	fetchStalled  bool
-	resumeCycle   int64
-
-	// Sequencing. renameSeq is the next sequence number; analyzeSeq the
-	// next instruction the Analyze stage will consider; horizon the
-	// oldest possibly-live window entry.
-	renameSeq, analyzeSeq, horizon uint64
+	// Sequencing. analyzeSeq is the next instruction the Analyze stage
+	// will consider; horizon the oldest possibly-live window entry.
+	analyzeSeq, horizon uint64
 
 	// llbv mirrors the Low Locality Bit Vector for statistics; the
 	// authoritative classification walks producer links.
@@ -70,20 +46,13 @@ type Processor struct {
 	ckptDepth      int
 	maxCkptDepth   int
 	ckptSeqs       []uint64 // live recovery points, oldest first
-	conf           *predictor.Confidence
 
-	cycle       int64
-	collect     bool
-	statsBase   int64
-	total       uint64
-	measureFrom uint64 // first committed instruction counted in stats
-	targetTotal uint64 // last committed instruction counted in stats
-	stats       pipeline.Stats
-	didWork     bool
+	// issueCP scratch, preallocated so the per-cycle select loop does not
+	// allocate: the parity-rotated queue view and structural-block flags.
+	cpRot     [2]*pipeline.IssueQueue
+	cpBlocked [2]bool
 
-	portsUsed int // cache ports used this cycle (shared CP/MP)
-
-	// spreadCap bounds renameSeq-horizon: the checkpointed speculative
+	// spreadCap bounds RenameSeq-horizon: the checkpointed speculative
 	// state cannot exceed the machine's structural resources.
 	spreadCap int
 }
@@ -99,136 +68,104 @@ func New(cfg Config) *Processor {
 	// low-locality instruction and rename; give it ample slack beyond the
 	// structural occupancy bound (rename interlocks on the horizon).
 	winCap := cfg.ROBSize + 2*cfg.LLIBSize + 2*cfg.MPIQSize + fqCap + 8192
-	p := &Processor{
-		cfg:  cfg,
-		win:  pipeline.NewWindow(winCap),
-		sb:   pipeline.NewScoreboard(),
-		hier: mem.NewHierarchy(cfg.Mem),
-		bp:   predictor.NewStats(cfg.NewPredictor()),
-		fq:   make([]fetchEntry, fqCap),
-	}
-	p.cpInt = pipeline.NewIssueQueue(pipeline.QInt, cfg.CPIQSize, cfg.CPInOrder, p.win)
-	p.cpFP = pipeline.NewIssueQueue(pipeline.QFP, cfg.CPIQSize, cfg.CPInOrder, p.win)
+	p := &Processor{cfg: cfg}
+	p.Init(engine.Params{
+		Family:          "core",
+		Name:            cfg.Name,
+		FetchWidth:      cfg.FetchWidth,
+		RenameWidth:     cfg.RenameWidth,
+		FrontEndDepth:   cfg.FrontEndDepth,
+		RedirectPenalty: cfg.RedirectPenalty,
+		LSQSize:         cfg.LSQSize,
+		MemPorts:        cfg.MemPorts,
+		MSHRs:           cfg.MSHRs,
+		FetchQueueCap:   fqCap,
+		WindowCap:       winCap,
+		Mem:             cfg.Mem,
+		NewPredictor:    cfg.NewPredictor,
+		WithConfidence:  true,
+	}, p)
+	p.cpInt = pipeline.NewIssueQueue(pipeline.QInt, cfg.CPIQSize, cfg.CPInOrder, p.Win)
+	p.cpFP = pipeline.NewIssueQueue(pipeline.QFP, cfg.CPIQSize, cfg.CPInOrder, p.Win)
 	p.cpFU = pipeline.NewFUPool(cfg.CPFU)
-	p.llibInt = NewLLIB(cfg.LLIBSize, p.win)
-	p.llibFP = NewLLIB(cfg.LLIBSize, p.win)
+	p.llibInt = NewLLIB(cfg.LLIBSize, p.Win)
+	p.llibFP = NewLLIB(cfg.LLIBSize, p.Win)
 	p.llrfInt = NewLLRF(cfg.LLRFBanks, cfg.LLRFBankSize, cfg.IdealLLRF)
 	p.llrfFP = NewLLRF(cfg.LLRFBanks, cfg.LLRFBankSize, cfg.IdealLLRF)
-	p.mpInt = pipeline.NewIssueQueue(pipeline.QMPInt, cfg.MPIQSize, *cfg.MPInOrder, p.win)
-	p.mpFP = pipeline.NewIssueQueue(pipeline.QMPFP, cfg.MPIQSize, *cfg.MPInOrder, p.win)
+	p.mpInt = pipeline.NewIssueQueue(pipeline.QMPInt, cfg.MPIQSize, *cfg.MPInOrder, p.Win)
+	p.mpFP = pipeline.NewIssueQueue(pipeline.QMPFP, cfg.MPIQSize, *cfg.MPInOrder, p.Win)
 	p.mpFUI = pipeline.NewFUPool(cfg.MPFU)
 	p.mpFUF = pipeline.NewFUPool(cfg.MPFU)
 	p.spreadCap = cfg.ROBSize + 2*cfg.LLIBSize + 2*cfg.MPIQSize + fqCap + 64
-	p.conf = predictor.NewConfidence(4096, 8)
 	return p
 }
 
 // Config returns the effective configuration.
 func (p *Processor) Config() Config { return p.cfg }
 
-// Hierarchy exposes the memory hierarchy (cache statistics).
-func (p *Processor) Hierarchy() *mem.Hierarchy { return p.hier }
-
-// Predictor exposes branch predictor statistics.
-func (p *Processor) Predictor() *predictor.Stats { return p.bp }
-
 // LLBVCount returns the number of architectural registers currently marked
 // long-latency — §3.2 argues this never saturates in steady state.
 func (p *Processor) LLBVCount() int { return p.llbvCount }
 
-// Run simulates until warmup+measure instructions have committed, returning
-// statistics for the measurement phase only.
+// BeginCycle resets the shared cache ports and per-cycle structure ports.
 //
 //dkip:hotpath
-func (p *Processor) Run(g trace.Generator, warmup, measure uint64) *pipeline.Stats {
-	if measure == 0 {
-		panic("core: Run with zero measurement length")
-	}
-	target := p.total + warmup + measure
-	p.measureFrom = p.total + warmup
-	p.targetTotal = target
-	if warmup == 0 {
-		p.beginMeasure()
-	}
-	maxCycles := p.cycle + int64(warmup+measure)*20000 + 10_000_000
-	for p.total < target {
-		p.didWork = false
-		p.portsUsed = 0
-		p.cpFU.NewCycle(p.cycle)
-		p.mpFUI.NewCycle(p.cycle)
-		p.mpFUF.NewCycle(p.cycle)
-		p.llrfInt.NewCycle(p.cycle)
-		p.llrfFP.NewCycle(p.cycle)
-
-		p.completeStage()
-		p.analyzeStage()
-		p.issueCP()
-		p.extractLLIBs()
-		p.issueMPs()
-		p.renameStage()
-		p.fetchStage(g)
-		p.advanceCycle()
-		if p.cycle > maxCycles {
-			panic(fmt.Sprintf("core: %s on %s: exceeded cycle budget: committed %d of %d (llibInt=%d llibFP=%d rob=%d)",
-				p.cfg.Name, g.Name(), p.total, target, p.llibInt.Len(), p.llibFP.Len(), p.robCount()))
-		}
-	}
-	out := p.stats
-	out.Cycles = p.cycle - p.statsBase
-	out.MaxLLIBInstrs = [2]int{p.llibInt.MaxInstrs, p.llibFP.MaxInstrs}
-	out.MaxLLIBRegs = [2]int{p.llrfInt.MaxUsed, p.llrfFP.MaxUsed}
-	out.LLRFBankConflicts = p.llrfInt.Conflicts + p.llrfFP.Conflicts
-	return &out
+func (p *Processor) BeginCycle() {
+	p.PortsUsed = 0
+	p.cpFU.NewCycle(p.Cycle)
+	p.mpFUI.NewCycle(p.Cycle)
+	p.mpFUF.NewCycle(p.Cycle)
+	p.llrfInt.NewCycle(p.Cycle)
+	p.llrfFP.NewCycle(p.Cycle)
 }
 
-func (p *Processor) beginMeasure() {
-	p.stats = pipeline.Stats{}
-	p.statsBase = p.cycle
-	p.collect = true
-	// High-water marks are reported for the measurement window.
-	p.llibInt.MaxInstrs = p.llibInt.Len()
-	p.llibFP.MaxInstrs = p.llibFP.Len()
-	p.llrfInt.MaxUsed = p.llrfInt.Allocated
-	p.llrfFP.MaxUsed = p.llrfFP.Allocated
-	p.llrfInt.Conflicts = 0
-	p.llrfFP.Conflicts = 0
+// Stages runs the D-KIP back end: complete, Analyze, CP issue, LLIB
+// extraction, MP issue.
+//
+//dkip:hotpath
+func (p *Processor) Stages(g trace.Generator) {
+	p.CompleteStage()
+	p.analyzeStage()
+	p.issueCP()
+	p.extractLLIBs()
+	p.issueMPs()
 }
 
-func (p *Processor) robCount() int { return int(p.renameSeq - p.analyzeSeq) }
+// EndCycle reconciles the checkpoint stack once all low-locality work has
+// drained: the architectural state is then fully reconciled and the stack
+// empties.
+//
+//dkip:hotpath
+func (p *Processor) EndCycle(g trace.Generator) {
+	if p.ckptDepth > 0 && p.llibInt.Len() == 0 && p.llibFP.Len() == 0 &&
+		p.mpInt.Len() == 0 && p.mpFP.Len() == 0 {
+		p.ckptDepth = 0
+		p.ckptSeqs = p.ckptSeqs[:0]
+	}
+}
 
-// commit retires one instruction for accounting purposes. Statistics cover
-// exactly the (warmup, warmup+measure] commit range, however commits batch
-// within cycles.
-func (p *Processor) commit(e *pipeline.DynInst, byMP bool) {
-	p.total++
-	if !p.collect {
-		if p.total <= p.measureFrom {
-			return
-		}
-		p.beginMeasure()
-	}
-	if p.total > p.targetTotal {
-		return
-	}
-	p.stats.Committed++
-	if byMP {
-		p.stats.MPCommitted++
-	} else {
-		p.stats.CPCommitted++
-	}
-	if e.In.Op == isa.Branch {
-		p.stats.Branches++
-		if e.Mispred {
-			p.stats.Mispredicts++
+// ConsiderWake adds the Aging-ROB head's timer deadline as a wake source.
+//
+//dkip:hotpath
+func (p *Processor) ConsiderWake(w *engine.WakeScan) {
+	if p.analyzeSeq < p.RenameSeq {
+		e := p.Win.Get(p.analyzeSeq)
+		if e.Seq == p.analyzeSeq {
+			w.Consider(e.RenameCycle + int64(p.cfg.ROBTimer))
 		}
 	}
 }
+
+//dkip:hotpath
+func (p *Processor) robCount() int { return int(p.RenameSeq - p.analyzeSeq) }
 
 // advanceHorizon slides the liveness horizon past dead entries so the window
 // can recycle their slots.
+//
+//dkip:hotpath
 func (p *Processor) advanceHorizon() {
 	for p.horizon < p.analyzeSeq {
-		e := p.win.Get(p.horizon)
+		e := p.Win.Get(p.horizon)
 		if e.Seq == p.horizon && !e.Done {
 			break
 		}
@@ -236,111 +173,55 @@ func (p *Processor) advanceHorizon() {
 	}
 }
 
-func (p *Processor) advanceCycle() {
-	// When all low-locality work has drained, the architectural state is
-	// fully reconciled and the checkpoint stack empties.
-	if p.ckptDepth > 0 && p.llibInt.Len() == 0 && p.llibFP.Len() == 0 &&
-		p.mpInt.Len() == 0 && p.mpFP.Len() == 0 {
-		p.ckptDepth = 0
-		p.ckptSeqs = p.ckptSeqs[:0]
+// OnComplete applies D-KIP completion bookkeeping: MSHR release, LLBV
+// clearing, and out-of-order commit of low-locality instructions.
+//
+//dkip:hotpath
+func (p *Processor) OnComplete(d *pipeline.DynInst) {
+	if d.In.Op == isa.Load && d.MemLevel == mem.LevelMemory {
+		p.MissCount--
 	}
-	p.cycle++
-	if p.didWork {
-		return
-	}
-	next := int64(-1)
-	consider := func(c int64) {
-		if c <= p.cycle {
-			next = p.cycle
-		} else if next == -1 || c < next {
-			next = c
+	if d.In.Op.HasDest() {
+		// A completed value clears the register's long-latency mark
+		// unless a younger writer has redefined it.
+		if prod, busy := p.SB.Lookup(d.In.Dest); busy && prod == d.Seq {
+			p.setLLBV(d.In.Dest, false)
 		}
+		p.SB.Complete(d.In.Dest, d.Seq)
 	}
-	if c, ok := p.ev.NextCycle(); ok {
-		consider(c)
-	}
-	if !p.fetchStalled && p.resumeCycle > p.cycle {
-		consider(p.resumeCycle)
-	}
-	if p.fqLen > 0 {
-		consider(p.fq[p.fqHead].ready)
-	}
-	if p.analyzeSeq < p.renameSeq {
-		e := p.win.Get(p.analyzeSeq)
-		if e.Seq == p.analyzeSeq {
-			consider(e.RenameCycle + int64(p.cfg.ROBTimer))
+	if d.LowLocality {
+		// LLIB/MP instructions and AP-custody loads retire at
+		// completion (out-of-order commit under checkpoints).
+		if d.In.Op == isa.Store {
+			p.Hier.Access(d.In.Addr)
 		}
-	}
-	if next > p.cycle {
-		p.cycle = next
-	} else if next == -1 && p.fqLen == 0 && p.fetchStalled && p.ev.Len() == 0 {
-		panic("core: deadlock: fetch stalled with no pending events")
+		if d.In.Op.IsMem() {
+			p.LSQCount--
+		}
+		p.Commit(d, engine.CommitMP)
+	} else if d.In.Op == isa.Load {
+		p.LSQCount-- // CP loads release their LSQ entry when the value returns
 	}
 }
 
-// completeStage retires finished executions: wakes consumers, finishes
-// low-locality commits, and resolves branches.
-func (p *Processor) completeStage() {
-	for {
-		seq, ok := p.ev.PopDue(p.cycle)
-		if !ok {
-			return
-		}
-		e := p.win.Get(seq)
-		e.Done = true
-		e.CompleteCycle = p.cycle
-		if e.In.Op == isa.Load && e.MemLevel == mem.LevelMemory {
-			p.missCount--
-		}
-		if e.In.Op.HasDest() {
-			// A completed value clears the register's long-latency
-			// mark unless a younger writer has redefined it.
-			if prod, busy := p.sb.Lookup(e.In.Dest); busy && prod == seq {
-				p.setLLBV(e.In.Dest, false)
-			}
-			p.sb.Complete(e.In.Dest, seq)
-		}
-		for _, cs := range e.Consumers {
-			ce := p.win.Get(cs)
-			if ce.Seq != cs || ce.Issued {
-				continue
-			}
-			ce.Pending--
-			if ce.Pending == 0 {
-				p.wake(ce)
-			}
-		}
-		if e.LowLocality {
-			// LLIB/MP instructions and AP-custody loads retire at
-			// completion (out-of-order commit under checkpoints).
-			if e.In.Op == isa.Store {
-				p.hier.Access(e.In.Addr)
-			}
-			if e.In.Op.IsMem() {
-				p.lsqCount--
-			}
-			p.commit(e, true)
-		} else if e.In.Op == isa.Load {
-			p.lsqCount-- // CP loads release their LSQ entry when the value returns
-		}
-		if e.Mispred {
-			pen := int64(p.cfg.RedirectPenalty)
-			if e.LowLocality {
-				pen += int64(p.cfg.RecoveryPenalty) + p.recoveryReplayCycles(seq)
-				if p.collect {
-					p.stats.Recoveries++
-				}
-				// Checkpoint recovery restores the register file
-				// and clears the LLBV (§3.2).
-				p.clearLLBV()
-			}
-			p.fetchStalled = false
-			p.resumeCycle = p.cycle + pen
-		}
-		p.didWork = true
+// RecoveryExtra charges checkpoint-recovery costs for mispredictions
+// resolved on the slow path and clears the LLBV (§3.2).
+//
+//dkip:hotpath
+func (p *Processor) RecoveryExtra(d *pipeline.DynInst) int64 {
+	if !d.LowLocality {
+		return 0
 	}
+	extra := int64(p.cfg.RecoveryPenalty) + p.recoveryReplayCycles(d.Seq)
+	if p.Collect {
+		p.Stats.Recoveries++
+	}
+	// Checkpoint recovery restores the register file and clears the LLBV.
+	p.clearLLBV()
+	return extra
 }
 
+//dkip:hotpath
 func (p *Processor) clearLLBV() {
 	for i := range p.llbv {
 		p.llbv[i] = false
@@ -348,18 +229,27 @@ func (p *Processor) clearLLBV() {
 	p.llbvCount = 0
 }
 
-func (p *Processor) wake(e *pipeline.DynInst) {
-	switch e.Queue {
+// Wake routes a wakeup to the CP or MP queue holding the instruction.
+//
+//dkip:hotpath
+func (p *Processor) Wake(d *pipeline.DynInst) {
+	switch d.Queue {
 	case pipeline.QInt:
-		p.cpInt.Wake(e.Seq)
+		p.cpInt.Wake(d.Seq)
 	case pipeline.QFP:
-		p.cpFP.Wake(e.Seq)
+		p.cpFP.Wake(d.Seq)
 	case pipeline.QMPInt:
-		p.mpInt.Wake(e.Seq)
+		p.mpInt.Wake(d.Seq)
 	case pipeline.QMPFP:
-		p.mpFP.Wake(e.Seq)
+		p.mpFP.Wake(d.Seq)
 	}
 }
+
+// IssueExtraLatency charges no issue surcharge: LLIB extraction delays are
+// modeled at the FIFO, not at issue.
+//
+//dkip:hotpath
+func (p *Processor) IssueExtraLatency(d *pipeline.DynInst) int64 { return 0 }
 
 // classification is the Analyze stage's verdict on one instruction.
 type classification uint8
@@ -372,6 +262,8 @@ const (
 )
 
 // classify implements the Analyze rules of §3.2.
+//
+//dkip:hotpath
 func (p *Processor) classify(e *pipeline.DynInst) classification {
 	if e.Done {
 		return classRetire
@@ -391,7 +283,7 @@ func (p *Processor) classify(e *pipeline.DynInst) classification {
 		if prod == pipeline.NoProducer {
 			continue
 		}
-		pe := p.win.Get(prod)
+		pe := p.Win.Get(prod)
 		if pe.Seq != prod || pe.Done {
 			continue
 		}
@@ -419,24 +311,26 @@ func (p *Processor) classify(e *pipeline.DynInst) classification {
 // migrating low-locality ones into the LLIBs (allocating their READY operand
 // in the LLRF, taking checkpoints), and stalling on short-latency in-flight
 // instructions (§3.2, ~0.7% IPC cost).
+//
+//dkip:hotpath
 func (p *Processor) analyzeStage() {
-	deadline := p.cycle - int64(p.cfg.ROBTimer)
+	deadline := p.Cycle - int64(p.cfg.ROBTimer)
 	for n := 0; n < p.cfg.AnalyzeWidth; n++ {
-		if p.analyzeSeq >= p.renameSeq {
+		if p.analyzeSeq >= p.RenameSeq {
 			return
 		}
-		e := p.win.Get(p.analyzeSeq)
+		e := p.Win.Get(p.analyzeSeq)
 		if e.RenameCycle > deadline {
 			return // not aged enough yet
 		}
 		switch p.classify(e) {
 		case classRetire:
 			if e.In.Op == isa.Store {
-				p.hier.Access(e.In.Addr) // commit the store data
-				p.lsqCount--
+				p.Hier.Access(e.In.Addr) // commit the store data
+				p.LSQCount--
 			}
 			p.setLLBV(e.In.Dest, false)
-			p.commit(e, false)
+			p.Commit(e, engine.CommitCP)
 
 		case classAPLoad:
 			// The load already executes in the Address Processor;
@@ -460,24 +354,25 @@ func (p *Processor) analyzeStage() {
 				// Ablation: pretend the instruction retired; it
 				// completes later without further accounting.
 				if e.In.Op == isa.Store {
-					p.hier.Access(e.In.Addr)
-					p.lsqCount--
+					p.Hier.Access(e.In.Addr)
+					p.LSQCount--
 				}
 				p.setLLBV(e.In.Dest, false)
-				p.commit(e, false)
+				p.Commit(e, engine.CommitCP)
 				break
 			}
-			if p.collect {
-				p.stats.AnalyzeWaitStalls++
+			if p.Collect {
+				p.Stats.AnalyzeWaitStalls++
 			}
 			return
 		}
 		p.analyzeSeq++
 		p.analyzed++
-		p.didWork = true
+		p.DidWork = true
 	}
 }
 
+//dkip:hotpath
 func (p *Processor) setLLBV(r isa.Reg, long bool) {
 	if !r.Valid() {
 		return
@@ -493,14 +388,16 @@ func (p *Processor) setLLBV(r isa.Reg, long bool) {
 }
 
 // insertLLIB moves a low-locality instruction from the CP into its LLIB.
+//
+//dkip:hotpath
 func (p *Processor) insertLLIB(e *pipeline.DynInst) bool {
 	llib, llrf := p.llibInt, p.llrfInt
 	if !p.cfg.SingleLLIB && e.IsFPClass() {
 		llib, llrf = p.llibFP, p.llrfFP
 	}
 	if llib.Full() {
-		if p.collect {
-			p.stats.LLIBFullStalls++
+		if p.Collect {
+			p.Stats.LLIBFullStalls++
 		}
 		return false
 	}
@@ -509,8 +406,8 @@ func (p *Processor) insertLLIB(e *pipeline.DynInst) bool {
 	if p.hasReadyOperand(e) {
 		b := llrf.Alloc()
 		if b < 0 {
-			if p.collect {
-				p.stats.LLIBFullStalls++
+			if p.Collect {
+				p.Stats.LLIBFullStalls++
 			}
 			return false
 		}
@@ -541,6 +438,8 @@ func (p *Processor) insertLLIB(e *pipeline.DynInst) bool {
 // takeCheckpoint records a recovery point at the given instruction. When the
 // stack is full the oldest checkpoint is dropped: later rollbacks replay
 // from a coarser point.
+//
+//dkip:hotpath
 func (p *Processor) takeCheckpoint(seq uint64) {
 	p.lastCheckpoint = p.analyzed
 	// Prune checkpoints the horizon has passed: nothing can roll back
@@ -565,14 +464,16 @@ func (p *Processor) takeCheckpoint(seq uint64) {
 	if p.ckptDepth > p.maxCkptDepth {
 		p.maxCkptDepth = p.ckptDepth
 	}
-	if p.collect {
-		p.stats.Checkpoints++
+	if p.Collect {
+		p.Stats.Checkpoints++
 	}
 }
 
 // recoveryReplayCycles estimates the cost of re-dispatching correct-path
 // instructions between the nearest checkpoint at or before seq and seq
 // itself. Only charged when the configuration enables ReplayRecovery.
+//
+//dkip:hotpath
 func (p *Processor) recoveryReplayCycles(seq uint64) int64 {
 	if !p.cfg.ReplayRecovery {
 		return 0
@@ -593,6 +494,8 @@ func (p *Processor) recoveryReplayCycles(seq uint64) int64 {
 
 // hasReadyOperand reports whether at least one source value is already
 // computed and must therefore be carried into the LLRF.
+//
+//dkip:hotpath
 func (p *Processor) hasReadyOperand(e *pipeline.DynInst) bool {
 	n := 0
 	ready := 0
@@ -609,7 +512,7 @@ func (p *Processor) hasReadyOperand(e *pipeline.DynInst) bool {
 			ready++
 			continue
 		}
-		pe := p.win.Get(prod)
+		pe := p.Win.Get(prod)
 		if pe.Seq != prod || pe.Done {
 			ready++
 		}
@@ -617,86 +520,23 @@ func (p *Processor) hasReadyOperand(e *pipeline.DynInst) bool {
 	return n > 0 && ready > 0
 }
 
-// issueCP performs wakeup/select in the Cache Processor.
+// issueCP performs wakeup/select in the Cache Processor, alternating queue
+// priority by cycle parity.
+//
+//dkip:hotpath
 func (p *Processor) issueCP() {
-	queues := [2]*pipeline.IssueQueue{p.cpInt, p.cpFP}
-	if p.cycle&1 == 1 {
-		queues[0], queues[1] = queues[1], queues[0]
+	p.cpRot[0], p.cpRot[1] = p.cpInt, p.cpFP
+	if p.Cycle&1 == 1 {
+		p.cpRot[0], p.cpRot[1] = p.cpFP, p.cpInt
 	}
-	issued := 0
-	var blocked [2]bool
-	for issued < p.cfg.CPIssueWidth {
-		progress := false
-		for qi, q := range queues {
-			if blocked[qi] || issued >= p.cfg.CPIssueWidth {
-				continue
-			}
-			seq, ok := q.Pop()
-			if !ok {
-				blocked[qi] = true
-				continue
-			}
-			e := p.win.Get(seq)
-			if e.In.Op == isa.Load && !p.mayIssueLoad(e) {
-				q.Unpop(seq)
-				blocked[qi] = true
-				continue
-			}
-			if !p.cpFU.TryIssue(e.In.Op) {
-				q.Unpop(seq)
-				blocked[qi] = true
-				continue
-			}
-			p.execute(e)
-			issued++
-			progress = true
-		}
-		if !progress {
-			break
-		}
-	}
-}
-
-// mayIssueLoad checks the Address Processor's structural limits for a load
-// about to issue: a free cache port, and — when MSHRs are modeled — a free
-// miss register if the access would go off-chip.
-func (p *Processor) mayIssueLoad(e *pipeline.DynInst) bool {
-	if p.portsUsed >= p.cfg.MemPorts {
-		return false
-	}
-	if p.cfg.MSHRs > 0 && p.missCount >= p.cfg.MSHRs && p.hier.ProbeLongLatency(e.In.Addr) {
-		return false
-	}
-	return true
-}
-
-// execute starts execution of e this cycle (from either the CP or an MP).
-func (p *Processor) execute(e *pipeline.DynInst) {
-	e.Issued = true
-	e.IssueCycle = p.cycle
-	if p.collect {
-		p.stats.IssueLat.Observe(p.cycle - e.RenameCycle)
-	}
-	lat := int64(e.In.Op.Latency())
-	if e.In.Op == isa.Load {
-		l, lvl := p.hier.Access(e.In.Addr)
-		e.MemLevel = lvl
-		e.MemLatency = l
-		if p.collect {
-			p.stats.LoadLevel[lvl]++
-		}
-		if lvl == mem.LevelMemory {
-			p.missCount++
-		}
-		lat = int64(l)
-		p.portsUsed++
-	}
-	p.ev.Schedule(p.cycle+lat, e.Seq)
-	p.didWork = true
+	p.cpBlocked[0], p.cpBlocked[1] = false, false
+	p.IssueSelect(p.cpRot[:], p.cpBlocked[:], p.cfg.CPIssueWidth, p.cpFU)
 }
 
 // extractLLIBs drains LLIB heads into the Memory Processors at the FIFO
 // extraction rate, reading captured operands from the LLRF.
+//
+//dkip:hotpath
 func (p *Processor) extractLLIBs() {
 	p.extractOne(p.llibInt, p.llrfInt, p.mpInt)
 	if !p.cfg.SingleLLIB {
@@ -704,20 +544,21 @@ func (p *Processor) extractLLIBs() {
 	}
 }
 
+//dkip:hotpath
 func (p *Processor) extractOne(llib *LLIB, llrf *LLRF, mp *pipeline.IssueQueue) {
 	for n := 0; n < p.cfg.LLIBRate; n++ {
 		if mp.Full() || !llib.HeadExtractable() {
 			return
 		}
 		seq, _ := llib.Head()
-		e := p.win.Get(seq)
+		e := p.Win.Get(seq)
 		conflict := false
 		if e.LLRFBank >= 0 {
 			conflict = llrf.Read(int(e.LLRFBank))
 		}
 		llib.Pop()
 		mp.Insert(seq, e.Pending == 0)
-		p.didWork = true
+		p.DidWork = true
 		if conflict {
 			// A bank being written this cycle delays the read one
 			// cycle; charge it by ending this LLIB's extraction.
@@ -727,6 +568,8 @@ func (p *Processor) extractOne(llib *LLIB, llrf *LLRF, mp *pipeline.IssueQueue) 
 }
 
 // issueMPs executes low-locality code in the Memory Processors.
+//
+//dkip:hotpath
 func (p *Processor) issueMPs() {
 	p.issueMP(p.mpInt, p.mpFUI)
 	if !p.cfg.SingleLLIB {
@@ -734,14 +577,15 @@ func (p *Processor) issueMPs() {
 	}
 }
 
+//dkip:hotpath
 func (p *Processor) issueMP(mp *pipeline.IssueQueue, fu *pipeline.FUPool) {
 	for n := 0; n < p.cfg.MPIssueWidth; n++ {
 		seq, ok := mp.Pop()
 		if !ok {
 			return
 		}
-		e := p.win.Get(seq)
-		if e.In.Op == isa.Load && !p.mayIssueLoad(e) {
+		e := p.Win.Get(seq)
+		if e.In.Op == isa.Load && !p.MayIssueLoad(e) {
 			mp.Unpop(seq)
 			return
 		}
@@ -749,131 +593,86 @@ func (p *Processor) issueMP(mp *pipeline.IssueQueue, fu *pipeline.FUPool) {
 			mp.Unpop(seq)
 			return
 		}
-		p.execute(e)
+		p.Execute(e)
 	}
 }
 
-// renameStage maps fetched instructions into the Aging-ROB, the CP issue
-// queues and the Address Processor's LSQ, recording producer links.
-func (p *Processor) renameStage() {
-	for n := 0; n < p.cfg.RenameWidth; n++ {
-		if p.fqLen == 0 {
-			return
-		}
-		fe := &p.fq[p.fqHead]
-		if fe.ready > p.cycle {
-			return
-		}
-		if p.robCount() >= p.cfg.ROBSize {
-			if p.collect {
-				p.stats.StallROBFull++
-			}
-			return
-		}
-		p.advanceHorizon()
-		if int(p.renameSeq-p.horizon) >= p.spreadCap {
-			// The oldest low-locality instruction still holds
-			// checkpointed state the machine cannot exceed.
-			if p.collect {
-				p.stats.StallROBFull++
-			}
-			return
-		}
-		fp := fe.in.Op.IsFP() || (fe.in.Op == isa.Load && fe.in.Dest.IsFP())
-		q := p.cpInt
-		if fp {
-			q = p.cpFP
-		}
-		if q.Full() {
-			if p.collect {
-				p.stats.StallIQFull++
-			}
-			return
-		}
-		if fe.in.Op.IsMem() && p.lsqCount >= p.cfg.LSQSize {
-			if p.collect {
-				p.stats.StallLSQFull++
-			}
-			return
-		}
-
-		seq := p.renameSeq
-		p.renameSeq++
-		e := p.win.Alloc(seq, fe.in, int(seq-p.horizon))
-		e.FetchCycle = fe.fetchCycle
-		e.RenameCycle = p.cycle
-		e.Mispred = fe.mispred
-		e.LowConf = fe.lowConf
-
-		pending := 0
-		prods := [2]uint64{pipeline.NoProducer, pipeline.NoProducer}
-		for i, src := range [2]isa.Reg{fe.in.Src1, fe.in.Src2} {
-			if prod, busy := p.sb.Lookup(src); busy {
-				pe := p.win.Get(prod)
-				//dkip:alloc-ok consumer lists are pre-capped by Window.Alloc; growth is warmup-only
-				pe.Consumers = append(pe.Consumers, seq)
-				prods[i] = prod
-				pending++
-			}
-		}
-		e.Pending = int8(pending)
-		e.Prod1, e.Prod2 = prods[0], prods[1]
-		if e.In.Dest.Valid() {
-			p.sb.Define(e.In.Dest, seq)
-		}
-		q.Insert(seq, pending == 0)
-		if fe.in.Op.IsMem() {
-			p.lsqCount++
-		}
-
-		p.fqHead++
-		if p.fqHead == len(p.fq) {
-			p.fqHead = 0
-		}
-		p.fqLen--
-		p.didWork = true
+// RenameAdmit enforces the Aging-ROB occupancy and checkpointed-state
+// spread bounds.
+//
+//dkip:hotpath
+func (p *Processor) RenameAdmit() bool {
+	if p.robCount() >= p.cfg.ROBSize {
+		return false
 	}
+	p.advanceHorizon()
+	// The oldest low-locality instruction still holds checkpointed state
+	// the machine cannot exceed.
+	return int(p.RenameSeq-p.horizon) < p.spreadCap
 }
 
-// fetchStage supplies instructions from the trace, predicting branches. A
-// detected misprediction halts correct-path supply until the branch resolves
-// (in the CP, or — for low-locality branches — in the MP with a checkpoint
-// restore).
-func (p *Processor) fetchStage(g trace.Generator) {
-	if p.fetchStalled || p.cycle < p.resumeCycle {
-		return
+// RenameQueue routes an instruction to its CP cluster queue.
+//
+//dkip:hotpath
+func (p *Processor) RenameQueue(fp bool) *pipeline.IssueQueue {
+	if fp {
+		return p.cpFP
 	}
-	for n := 0; n < p.cfg.FetchWidth; n++ {
-		if p.fqLen == len(p.fq) {
-			return
-		}
-		in := g.Next()
-		if p.collect {
-			p.stats.Fetched++
-		}
-		fe := fetchEntry{in: in, fetchCycle: p.cycle, ready: p.cycle + int64(p.cfg.FrontEndDepth)}
-		if in.Op == isa.Branch {
-			fe.lowConf = !p.conf.High(in.PC)
-			pred := p.bp.Predict(in.PC)
-			p.bp.Update(in.PC, in.Taken)
-			fe.mispred = pred != in.Taken
-			p.conf.Update(in.PC, !fe.mispred)
-		}
-		tail := p.fqHead + p.fqLen
-		if tail >= len(p.fq) {
-			tail -= len(p.fq)
-		}
-		p.fq[tail] = fe
-		p.fqLen++
-		p.didWork = true
-		if fe.mispred {
-			p.fetchStalled = true
-			return
-		}
-		if in.Op == isa.Branch && in.Taken {
-			return
-		}
-	}
+	return p.cpInt
+}
+
+// AllocHint bounds the window by the rename/horizon spread (seq is the
+// sequence number being allocated).
+//
+//dkip:hotpath
+func (p *Processor) AllocHint(seq uint64) int {
+	return int(seq - p.horizon)
+}
+
+// OnRename has no model occupancy to record: the Aging-ROB count derives
+// from the analyze/rename sequence spread.
+//
+//dkip:hotpath
+func (p *Processor) OnRename(d *pipeline.DynInst, q *pipeline.IssueQueue) {}
+
+// FetchNext supplies instructions straight from the trace.
+//
+//dkip:hotpath
+func (p *Processor) FetchNext(g trace.Generator) isa.Instr { return g.Next() }
+
+// OnFetchBranch consults and trains the JRS confidence estimator.
+//
+//dkip:hotpath
+func (p *Processor) OnFetchBranch(in isa.Instr, mispred bool) bool {
+	lowConf := !p.Conf.High(in.PC)
+	p.Conf.Update(in.PC, !mispred)
+	return lowConf
+}
+
+// OnBeginMeasure re-bases the LLIB/LLRF high-water marks: they are reported
+// for the measurement window.
+//
+//dkip:hotpath
+func (p *Processor) OnBeginMeasure() {
+	p.llibInt.MaxInstrs = p.llibInt.Len()
+	p.llibFP.MaxInstrs = p.llibFP.Len()
+	p.llrfInt.MaxUsed = p.llrfInt.Allocated
+	p.llrfFP.MaxUsed = p.llrfFP.Allocated
+	p.llrfInt.Conflicts = 0
+	p.llrfFP.Conflicts = 0
+}
+
+// FinishStats reports the LLIB/LLRF high-water marks and bank conflicts.
+func (p *Processor) FinishStats(st *pipeline.Stats) {
+	st.MaxLLIBInstrs = [2]int{p.llibInt.MaxInstrs, p.llibFP.MaxInstrs}
+	st.MaxLLIBRegs = [2]int{p.llrfInt.MaxUsed, p.llrfFP.MaxUsed}
+	st.LLRFBankConflicts = p.llrfInt.Conflicts + p.llrfFP.Conflicts
+}
+
+// BudgetMessage builds the cycle-budget panic text.
+func (p *Processor) BudgetMessage(bench string, target uint64) string {
+	return fmt.Sprintf("core: %s on %s: exceeded cycle budget: committed %d of %d (llibInt=%d llibFP=%d rob=%d)",
+		p.cfg.Name, bench, p.Total, target, p.llibInt.Len(), p.llibFP.Len(), p.robCount())
 }
 
 // MaxCheckpointDepth returns the deepest the checkpoint stack got.

@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"dkip/internal/isa"
+	"dkip/internal/pipeline"
+	"dkip/internal/trace"
+)
+
+// CommitPath tells the engine which retirement counter a commit belongs to.
+type CommitPath uint8
+
+const (
+	// CommitDirect is ordinary in-order retirement (the out-of-order and
+	// in-order baselines): only Committed is counted.
+	CommitDirect CommitPath = iota
+	// CommitCP is a D-KIP Cache Processor retirement (Analyze-stage).
+	CommitCP
+	// CommitMP is a D-KIP out-of-order retirement from a Memory Processor
+	// or the Address Processor, covered by a checkpoint.
+	CommitMP
+)
+
+// Model is the architecture-specific half of a processor. The Engine owns
+// the cycle loop, the front end (fetch queue, branch predictor), rename
+// bookkeeping (window allocation, producer links, scoreboard), the
+// completion event queue, statistics windows, and functional-warm /
+// checkpoint plumbing. A Model contributes the machine's structure hazards
+// and its issue/commit topology through these hooks.
+//
+// Every hook that runs on the per-cycle path must carry //dkip:hotpath in
+// its implementation: the engine dispatches through this interface, which
+// static analysis cannot walk, so each implementation is its own root for
+// the allocation gate.
+type Model interface {
+	// BeginCycle resets per-cycle structures (functional-unit pools,
+	// register-file ports). Runs first each cycle.
+	BeginCycle()
+	// Stages runs the model's back-end stages for this cycle — commit /
+	// complete / analyze / issue, in the model's order — typically
+	// delegating to Engine.CompleteStage and Engine.IssueSelect. The
+	// engine runs rename and fetch afterwards.
+	Stages(g trace.Generator)
+	// EndCycle runs after fetch, immediately before the clock advances
+	// (checkpoint-stack reconciliation, runahead episodes).
+	EndCycle(g trace.Generator)
+	// ConsiderWake reports additional cycles at which the machine can make
+	// progress while idle (e.g. an aging-timer deadline). The engine has
+	// already considered the event queue, fetch buffer, and redirect.
+	ConsiderWake(w *WakeScan)
+
+	// RenameAdmit reports whether one more instruction may enter the
+	// machine (window/ROB occupancy checks). A false return is counted as
+	// a StallROBFull by the engine.
+	RenameAdmit() bool
+	// RenameQueue selects the issue queue for an instruction of the given
+	// class. A full queue is counted as StallIQFull by the engine.
+	RenameQueue(fp bool) *pipeline.IssueQueue
+	// AllocHint returns the in-flight estimate passed to Window.Alloc for
+	// its overflow check, with seq the sequence number being allocated
+	// (Engine.RenameSeq has already been advanced past it).
+	AllocHint(seq uint64) int
+	// OnRename records model occupancy for a just-renamed instruction
+	// after it was inserted into q (ROB counters, age rings).
+	OnRename(d *pipeline.DynInst, q *pipeline.IssueQueue)
+
+	// FetchNext supplies the next instruction (runahead models interpose a
+	// replay buffer here).
+	FetchNext(g trace.Generator) isa.Instr
+	// OnFetchBranch observes a fetched branch after prediction and reports
+	// whether it was predicted with low confidence.
+	OnFetchBranch(in isa.Instr, mispred bool) bool
+
+	// OnComplete applies model bookkeeping when execution of d finishes:
+	// MSHR/LSQ release, scoreboard completion, out-of-order commit. Runs
+	// before the engine wakes d's consumers.
+	OnComplete(d *pipeline.DynInst)
+	// RecoveryExtra returns the redirect-penalty surcharge for a resolved
+	// misprediction (checkpoint restore, replay) and performs any recovery
+	// side effects. Called only for mispredicted instructions.
+	RecoveryExtra(d *pipeline.DynInst) int64
+	// Wake routes a now-ready instruction's wakeup to the queue holding it.
+	Wake(d *pipeline.DynInst)
+	// IssueExtraLatency returns extra execution latency charged at issue
+	// (slow-lane re-dispatch delay).
+	IssueExtraLatency(d *pipeline.DynInst) int64
+
+	// OnBeginMeasure resets model-owned high-water statistics when the
+	// measurement window opens.
+	OnBeginMeasure()
+	// FinishStats copies model-owned statistics into the result.
+	FinishStats(st *pipeline.Stats)
+	// BudgetMessage builds the cycle-budget panic message. Only called on
+	// the failure path; it may allocate.
+	BudgetMessage(bench string, target uint64) string
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"dkip/internal/core"
+	"dkip/internal/inorder"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
 	"dkip/internal/sample"
@@ -119,6 +120,7 @@ var registry = map[string]struct {
 	"fig13":   {"Maximum LLIB occupancy (instructions and registers), SpecINT", Figure13},
 	"fig14":   {"Maximum LLIB occupancy (instructions and registers), SpecFP", Figure14},
 	"sec43":   {"Scheduler-policy speedup summary (Section 4.3)", Section43},
+	"inorder": {"In-order C920-class calibration core vs the paper machines", Inorder},
 	"sampled": {"Sampled vs full-detail CPI across the Figure 9 grid", SampledAccuracy},
 	"sec44":   {"Cache-processor instruction share vs L2 size (Section 4.4)", Section44},
 
@@ -274,6 +276,15 @@ func runOOO(key, bench string, cfg ooo.Config, s Scale) job {
 // runDKIP builds a job simulating a D-KIP configuration.
 func runDKIP(key, bench string, cfg core.Config, s Scale) job {
 	j := job{key: key, spec: sim.DKIPSpec(bench, cfg, s.Warmup, s.Measure)}
+	if s.Sample != nil {
+		j.spec.Sample = *s.Sample
+	}
+	return j
+}
+
+// runInorder builds a job simulating an in-order (C920-class) configuration.
+func runInorder(key, bench string, cfg inorder.Config, s Scale) job {
+	j := job{key: key, spec: sim.InorderSpec(bench, cfg, s.Warmup, s.Measure)}
 	if s.Sample != nil {
 		j.spec.Sample = *s.Sample
 	}

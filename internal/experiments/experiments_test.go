@@ -14,7 +14,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "table3",
 		"fig1", "fig2", "fig3", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"sec43", "sec44", "sampled",
+		"sec43", "sec44", "sampled", "inorder",
 		"ablation-analyze", "ablation-aging", "ablation-llib", "ablation-llrf", "ablation-singlellib",
 		"ablation-runahead", "ablation-checkpoint", "ablation-mshr",
 		"ablation-prefetch",

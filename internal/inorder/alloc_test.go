@@ -1,0 +1,37 @@
+package inorder
+
+import (
+	"testing"
+
+	"dkip/internal/workload"
+)
+
+// TestSteadyStateAllocationFree pins the same zero-allocation property the
+// other model packages enforce: once the window, queue, and per-entry
+// Consumers slices have reached their high-water marks, continuing the same
+// run must not allocate per committed instruction. The in-order model adds
+// no structures of its own beyond the engine's, so this is primarily the
+// gate that keeps the shared cycle loop honest for a blocking-issue machine
+// (whose long head stalls exercise the wake scan harder than the
+// out-of-order cores do).
+func TestSteadyStateAllocationFree(t *testing.T) {
+	g := workload.MustNew("mcf")
+	p := New(C920())
+	p.Hierarchy().Warm(g.WarmRanges())
+	p.Run(g, 30_000, 30_000) // reach structural steady state
+	const chunk = 10_000
+	// Throwaway chunks let per-entry Consumers slices finish discovering
+	// their high-water capacities.
+	for i := 0; i < 5; i++ {
+		p.Run(g, 0, chunk)
+	}
+	avg := testing.AllocsPerRun(3, func() {
+		p.Run(g, 0, chunk)
+	})
+	// Each Run call copies its Stats once (the returned snapshot); nothing
+	// may scale with chunk.
+	if perInstr := avg / chunk; perInstr > 0.005 {
+		t.Errorf("steady state allocates %.4f objects per committed instruction (%.0f per %d-instruction chunk), want ~0",
+			perInstr, avg, chunk)
+	}
+}

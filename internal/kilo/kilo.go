@@ -19,6 +19,7 @@ package kilo
 import (
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
+	"dkip/internal/sample"
 	"dkip/internal/trace"
 )
 
@@ -45,8 +46,10 @@ func Config(sliqSize int) ooo.Config {
 	}
 }
 
-// New builds the KILO-1024 processor.
-func New() *ooo.Processor { return ooo.New(Config1024()) }
+// New builds the KILO-1024 processor behind the shared engine interface:
+// the KILO machine is a configuration of the out-of-order engine, not a
+// distinct model, and callers only need what the interface offers.
+func New() sample.Engine { return ooo.New(Config1024()) }
 
 // Run is a convenience wrapper: build a KILO-1024 machine, warm its caches
 // for the workload, and simulate warmup+measure committed instructions.

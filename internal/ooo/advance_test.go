@@ -1,6 +1,10 @@
 package ooo
 
-import "testing"
+import (
+	"testing"
+
+	"dkip/internal/engine"
+)
 
 // The advanceCycle tests pin the idle-skip contract the data-structure
 // rewrite must preserve: time advances by exactly one cycle when work
@@ -16,35 +20,35 @@ func advTestProcessor() *Processor {
 
 func TestAdvanceCycleDidWork(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = true
-	p.ev.Schedule(500, 1) // must not be skipped to
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d after work, want 11", p.cycle)
+	p.Cycle = 10
+	p.DidWork = true
+	p.EV.Schedule(500, 1) // must not be skipped to
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d after work, want 11", p.Cycle)
 	}
 }
 
 func TestAdvanceCycleIdleSkipsToNextEvent(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(100, 1)
-	p.advanceCycle()
-	if p.cycle != 100 {
-		t.Fatalf("cycle = %d, want skip to 100", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(100, 1)
+	p.AdvanceCycle()
+	if p.Cycle != 100 {
+		t.Fatalf("cycle = %d, want skip to 100", p.Cycle)
 	}
 }
 
 func TestAdvanceCycleDueNowDoesNotSkip(t *testing.T) {
 	// An event due at the very next cycle: advance by one, no skip.
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(11, 1)
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d, want 11 (event due now)", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(11, 1)
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event due now)", p.Cycle)
 	}
 }
 
@@ -52,41 +56,41 @@ func TestAdvanceCycleDueCandidateOverridesFutureOne(t *testing.T) {
 	// Candidate order 1: future event, then a fetch-buffer head that is
 	// already consumable. The due head must win: no skip.
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(100, 1)
-	p.fq[0] = fetchEntry{ready: 5}
-	p.fqHead, p.fqLen = 0, 1
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(100, 1)
+	p.FQ[0] = engine.FetchEntry{Ready: 5}
+	p.FQHead, p.FQLen = 0, 1
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (fq head already due)", p.Cycle)
 	}
 
 	// Candidate order 2: the due candidate first (the event), the future
 	// one second (the fetch head). Same answer.
 	p = advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(11, 1)
-	p.fq[0] = fetchEntry{ready: 100}
-	p.fqHead, p.fqLen = 0, 1
-	p.advanceCycle()
-	if p.cycle != 11 {
-		t.Fatalf("cycle = %d, want 11 (event already due)", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(11, 1)
+	p.FQ[0] = engine.FetchEntry{Ready: 100}
+	p.FQHead, p.FQLen = 0, 1
+	p.AdvanceCycle()
+	if p.Cycle != 11 {
+		t.Fatalf("cycle = %d, want 11 (event already due)", p.Cycle)
 	}
 }
 
 func TestAdvanceCycleSkipsToEarliestCandidate(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.ev.Schedule(200, 1)
-	p.fq[0] = fetchEntry{ready: 60}
-	p.fqHead, p.fqLen = 0, 1
-	p.resumeCycle = 40 // fetch redirect pending, not stalled
-	p.advanceCycle()
-	if p.cycle != 40 {
-		t.Fatalf("cycle = %d, want earliest candidate 40", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.EV.Schedule(200, 1)
+	p.FQ[0] = engine.FetchEntry{Ready: 60}
+	p.FQHead, p.FQLen = 0, 1
+	p.ResumeCycle = 40 // fetch redirect pending, not stalled
+	p.AdvanceCycle()
+	if p.Cycle != 40 {
+		t.Fatalf("cycle = %d, want earliest candidate 40", p.Cycle)
 	}
 }
 
@@ -94,25 +98,25 @@ func TestAdvanceCycleStallWithLaterEventSkips(t *testing.T) {
 	// Fetch stalled on an unresolved branch, but its resolution event is
 	// pending: the skip must target the event, not panic.
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.fetchStalled = true
-	p.ev.Schedule(300, 1)
-	p.advanceCycle()
-	if p.cycle != 300 {
-		t.Fatalf("cycle = %d, want 300", p.cycle)
+	p.Cycle = 10
+	p.DidWork = false
+	p.FetchStalled = true
+	p.EV.Schedule(300, 1)
+	p.AdvanceCycle()
+	if p.Cycle != 300 {
+		t.Fatalf("cycle = %d, want 300", p.Cycle)
 	}
 }
 
 func TestAdvanceCycleDeadlockPanics(t *testing.T) {
 	p := advTestProcessor()
-	p.cycle = 10
-	p.didWork = false
-	p.fetchStalled = true // stalled, no events, nothing buffered: deadlock
+	p.Cycle = 10
+	p.DidWork = false
+	p.FetchStalled = true // stalled, no events, nothing buffered: deadlock
 	defer func() {
 		if recover() == nil {
 			t.Fatal("stall with no pending events must panic")
 		}
 	}()
-	p.advanceCycle()
+	p.AdvanceCycle()
 }

@@ -97,11 +97,11 @@ func TestLongRunMemoryBounded(t *testing.T) {
 	}
 	// The age rings feed SLIQ migration once per renamed instruction; their
 	// capacity must be bounded by pipeline occupancy, not run length.
-	bound := p.win.Capacity() * 2
+	bound := p.Win.Capacity() * 2
 	if c := p.ageI.Cap(); c > bound {
-		t.Errorf("ageI ring grew to %d slots (window %d): capacity scales with run length", c, p.win.Capacity())
+		t.Errorf("ageI ring grew to %d slots (window %d): capacity scales with run length", c, p.Win.Capacity())
 	}
 	if c := p.ageF.Cap(); c > bound {
-		t.Errorf("ageF ring grew to %d slots (window %d): capacity scales with run length", c, p.win.Capacity())
+		t.Errorf("ageF ring grew to %d slots (window %d): capacity scales with run length", c, p.Win.Capacity())
 	}
 }

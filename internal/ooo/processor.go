@@ -3,50 +3,31 @@ package ooo
 import (
 	"fmt"
 
+	"dkip/internal/engine"
 	"dkip/internal/isa"
 	"dkip/internal/mem"
 	"dkip/internal/pipeline"
-	"dkip/internal/predictor"
 	"dkip/internal/trace"
 )
 
-// fetchEntry is one instruction in the front-end buffer between fetch and
-// rename.
-type fetchEntry struct {
-	in         isa.Instr
-	fetchCycle int64
-	ready      int64 // cycle at which rename may consume it
-	mispred    bool
-}
-
-// Processor is one out-of-order core instance. It is single-use: construct
-// with New, call Run once (Run may be called again to continue the same
-// program with warm structures).
+// Processor is one out-of-order core instance: an engine.Model contributing
+// the R10000-style ROB, clustered issue queues, and (for the KILO baseline)
+// the Slow Lane Instruction Queue. It is single-use: construct with New,
+// call Run once (Run may be called again to continue the same program with
+// warm structures).
 type Processor struct {
-	cfg  Config
-	win  *pipeline.Window
+	engine.Engine
+
+	cfg Config
+
 	iqI  *pipeline.IssueQueue
 	iqF  *pipeline.IssueQueue
 	sliq *pipeline.IssueQueue // nil unless cfg.SLIQSize > 0
 	fus  *pipeline.FUPool
-	sb   *pipeline.Scoreboard
-	ev   pipeline.EventQueue
-	hier *mem.Hierarchy
-	bp   *predictor.Stats
 
-	fq     []fetchEntry
-	fqHead int
-	fqLen  int
-
-	renameSeq uint64 // next sequence number to allocate
 	commitSeq uint64 // next sequence number to retire
 	horizon   uint64 // oldest incomplete instruction (SLIQ spread cap)
 	robCount  int
-	lsqCount  int
-	missCount int // outstanding off-chip misses (MSHR occupancy)
-
-	fetchStalled bool  // an unresolved mispredicted branch was fetched
-	resumeCycle  int64 // fetch may not proceed before this cycle
 
 	// ageI/ageF feed SLIQ migration: sequence numbers in rename order.
 	ageI, ageF pipeline.Ring64
@@ -57,15 +38,6 @@ type Processor struct {
 	iqAll     []*pipeline.IssueQueue
 	iqRot     []*pipeline.IssueQueue
 	iqBlocked []bool
-
-	cycle       int64
-	collect     bool
-	statsBase   int64
-	total       uint64
-	measureFrom uint64
-	targetTotal uint64
-	stats       pipeline.Stats
-	didWork     bool
 
 	ra runaheadState
 }
@@ -85,21 +57,31 @@ func New(cfg Config) *Processor {
 		winCap += 8192
 	}
 	p := &Processor{
-		cfg:  cfg,
-		win:  pipeline.NewWindow(winCap),
-		fus:  pipeline.NewFUPool(cfg.FU),
-		sb:   pipeline.NewScoreboard(),
-		hier: mem.NewHierarchy(cfg.Mem),
-		bp:   predictor.NewStats(cfg.NewPredictor()),
-		fq:   make([]fetchEntry, fqCap),
+		cfg: cfg,
+		fus: pipeline.NewFUPool(cfg.FU),
 	}
-	p.iqI = pipeline.NewIssueQueue(pipeline.QInt, cfg.IQSize, cfg.InOrder, p.win)
-	p.iqF = pipeline.NewIssueQueue(pipeline.QFP, cfg.IQSize, cfg.InOrder, p.win)
+	p.Init(engine.Params{
+		Family:          "ooo",
+		Name:            cfg.Name,
+		FetchWidth:      cfg.FetchWidth,
+		RenameWidth:     cfg.RenameWidth,
+		FrontEndDepth:   cfg.FrontEndDepth,
+		RedirectPenalty: cfg.RedirectPenalty,
+		LSQSize:         cfg.LSQSize,
+		MemPorts:        cfg.MemPorts,
+		MSHRs:           cfg.MSHRs,
+		FetchQueueCap:   fqCap,
+		WindowCap:       winCap,
+		Mem:             cfg.Mem,
+		NewPredictor:    cfg.NewPredictor,
+	}, p)
+	p.iqI = pipeline.NewIssueQueue(pipeline.QInt, cfg.IQSize, cfg.InOrder, p.Win)
+	p.iqF = pipeline.NewIssueQueue(pipeline.QFP, cfg.IQSize, cfg.InOrder, p.Win)
 	if cfg.SLIQSize > 0 {
 		if cfg.InOrder {
 			panic("ooo: SLIQ requires out-of-order primary queues")
 		}
-		p.sliq = pipeline.NewIssueQueue(pipeline.QSLIQ, cfg.SLIQSize, false, p.win)
+		p.sliq = pipeline.NewIssueQueue(pipeline.QSLIQ, cfg.SLIQSize, false, p.Win)
 	}
 	p.iqAll = []*pipeline.IssueQueue{p.iqI, p.iqF}
 	if p.sliq != nil {
@@ -113,199 +95,120 @@ func New(cfg Config) *Processor {
 // Config returns the effective (defaulted) configuration.
 func (p *Processor) Config() Config { return p.cfg }
 
-// Hierarchy exposes the memory hierarchy for cache statistics.
-func (p *Processor) Hierarchy() *mem.Hierarchy { return p.hier }
-
-// Predictor exposes the branch predictor statistics.
-func (p *Processor) Predictor() *predictor.Stats { return p.bp }
-
-// Run simulates until warmup+measure instructions have committed and returns
-// statistics covering only the measurement phase. The generator supplies the
-// correct-path instruction stream.
+// BeginCycle resets the functional-unit pool's issue ports.
 //
 //dkip:hotpath
-func (p *Processor) Run(g trace.Generator, warmup, measure uint64) *pipeline.Stats {
-	if measure == 0 {
-		panic("ooo: Run with zero measurement length")
-	}
-	target := p.total + warmup + measure
-	p.measureFrom = p.total + warmup
-	p.targetTotal = target
-	if warmup == 0 {
-		p.beginMeasure()
-	}
-	maxCycles := p.cycle + int64(warmup+measure)*20000 + 10_000_000
-	for p.total < target {
-		p.didWork = false
-		p.fus.NewCycle(p.cycle)
-
-		p.commitStage()
-		p.completeStage()
-		p.issueStage()
-		p.renameStage()
-		p.fetchStage(g)
-		if p.cfg.RunaheadDepth > 0 {
-			p.maybeRunahead(g)
-		}
-		p.advanceCycle()
-		if p.cycle > maxCycles {
-			panic(fmt.Sprintf("ooo: %s on %s: exceeded cycle budget (deadlock or pathological config): committed %d of %d",
-				p.cfg.Name, g.Name(), p.total, target))
-		}
-	}
-	out := p.stats
-	out.Cycles = p.cycle - p.statsBase
-	return &out
+func (p *Processor) BeginCycle() {
+	p.fus.NewCycle(p.Cycle)
 }
 
-func (p *Processor) beginMeasure() {
-	p.stats = pipeline.Stats{}
-	p.statsBase = p.cycle
-	p.collect = true
+// Stages runs commit, complete and issue in the R10K order.
+//
+//dkip:hotpath
+func (p *Processor) Stages(g trace.Generator) {
+	p.commitStage()
+	p.CompleteStage()
+	p.issueStage()
 }
 
-// advanceCycle steps time, skipping idle stretches when nothing can change
-// until the next scheduled event.
-func (p *Processor) advanceCycle() {
-	p.cycle++
-	if p.didWork {
-		return
-	}
-	// Nothing happened: jump to the next cycle at which something can.
-	next := int64(-1)
-	consider := func(c int64) {
-		if c > p.cycle && (next == -1 || c < next) {
-			next = c
-		} else if c <= p.cycle {
-			next = p.cycle
-		}
-	}
-	if c, ok := p.ev.NextCycle(); ok {
-		consider(c)
-	}
-	if !p.fetchStalled && p.resumeCycle > p.cycle {
-		consider(p.resumeCycle)
-	}
-	if p.fqLen > 0 {
-		consider(p.fq[p.fqHead].ready)
-	}
-	if next > p.cycle {
-		p.cycle = next
-	} else if next == -1 && p.fqLen == 0 && p.fetchStalled {
-		panic("ooo: deadlock: fetch stalled with no pending events")
+// EndCycle triggers a runahead episode when configured.
+//
+//dkip:hotpath
+func (p *Processor) EndCycle(g trace.Generator) {
+	if p.cfg.RunaheadDepth > 0 {
+		p.maybeRunahead(g)
 	}
 }
 
+// ConsiderWake adds no wake sources beyond the engine's defaults.
+//
+//dkip:hotpath
+func (p *Processor) ConsiderWake(w *engine.WakeScan) {}
+
+//dkip:hotpath
 func (p *Processor) commitStage() {
 	for n := 0; n < p.cfg.CommitWidth; n++ {
-		if p.commitSeq >= p.renameSeq {
+		if p.commitSeq >= p.RenameSeq {
 			return
 		}
-		e := p.win.Get(p.commitSeq)
-		if !e.Done {
+		d := p.Win.Get(p.commitSeq)
+		if !d.Done {
 			return
 		}
-		if e.In.Op == isa.Store {
+		if d.In.Op == isa.Store {
 			// Stores write the cache at commit; a write buffer hides
 			// the latency, so only cache state is updated.
-			p.hier.Access(e.In.Addr)
-			p.lsqCount--
+			p.Hier.Access(d.In.Addr)
+			p.LSQCount--
 		}
 		// Loads released their LSQ entry when their value returned.
 		if p.cfg.SLIQSize == 0 {
 			p.robCount--
 		}
 		p.commitSeq++
-		p.total++
-		p.didWork = true
-		// Statistics cover exactly the (warmup, warmup+measure] range.
-		if !p.collect {
-			if p.total <= p.measureFrom {
-				continue
-			}
-			p.beginMeasure()
-		}
-		if p.total > p.targetTotal {
-			continue
-		}
-		p.stats.Committed++
-		if e.In.Op == isa.Branch {
-			p.stats.Branches++
-			if e.Mispred {
-				p.stats.Mispredicts++
-			}
-		}
+		p.DidWork = true
+		p.Commit(d, engine.CommitDirect)
 	}
 }
 
-func (p *Processor) completeStage() {
-	for {
-		seq, ok := p.ev.PopDue(p.cycle)
-		if !ok {
-			return
+// OnComplete releases structural entries for a finished execution.
+//
+//dkip:hotpath
+func (p *Processor) OnComplete(d *pipeline.DynInst) {
+	if d.In.Op == isa.Load {
+		p.LSQCount-- // the LSQ entry is freed when the value returns
+		if d.MemLevel == mem.LevelMemory {
+			p.MissCount--
 		}
-		e := p.win.Get(seq)
-		e.Done = true
-		e.CompleteCycle = p.cycle
-		if e.In.Op == isa.Load {
-			p.lsqCount-- // the LSQ entry is freed when the value returns
-			if e.MemLevel == mem.LevelMemory {
-				p.missCount--
-			}
-		}
-		if p.cfg.SLIQSize > 0 && !e.LowLocality {
-			// Out-of-order commit (multicheckpointing): a finished
-			// instruction releases its pseudo-ROB entry immediately;
-			// SLIQ residents released theirs when they migrated.
-			p.robCount--
-		}
-		if e.In.Op.HasDest() {
-			p.sb.Complete(e.In.Dest, seq)
-		}
-		for _, cs := range e.Consumers {
-			ce := p.win.Get(cs)
-			if ce.Seq != cs || ce.Issued {
-				continue
-			}
-			ce.Pending--
-			if ce.Pending == 0 {
-				p.wake(ce)
-			}
-		}
-		if e.Mispred {
-			pen := int64(p.cfg.RedirectPenalty)
-			if e.LowLocality {
-				// Resolved from the SLIQ: recovery restores a
-				// checkpoint rather than the rename stack.
-				pen += int64(p.cfg.CheckpointPenalty)
-				if p.collect {
-					p.stats.Recoveries++
-				}
-			}
-			p.fetchStalled = false
-			p.resumeCycle = p.cycle + pen
-		}
-		p.didWork = true
+	}
+	if p.cfg.SLIQSize > 0 && !d.LowLocality {
+		// Out-of-order commit (multicheckpointing): a finished
+		// instruction releases its pseudo-ROB entry immediately;
+		// SLIQ residents released theirs when they migrated.
+		p.robCount--
+	}
+	if d.In.Op.HasDest() {
+		p.SB.Complete(d.In.Dest, d.Seq)
 	}
 }
 
-func (p *Processor) wake(e *pipeline.DynInst) {
-	switch e.Queue {
+// RecoveryExtra charges the checkpoint-restore surcharge for mispredictions
+// resolved from the SLIQ.
+//
+//dkip:hotpath
+func (p *Processor) RecoveryExtra(d *pipeline.DynInst) int64 {
+	if !d.LowLocality {
+		return 0
+	}
+	// Resolved from the SLIQ: recovery restores a checkpoint rather than
+	// the rename stack.
+	if p.Collect {
+		p.Stats.Recoveries++
+	}
+	return int64(p.cfg.CheckpointPenalty)
+}
+
+// Wake routes a wakeup to the queue holding the instruction.
+//
+//dkip:hotpath
+func (p *Processor) Wake(d *pipeline.DynInst) {
+	switch d.Queue {
 	case pipeline.QInt:
-		p.iqI.Wake(e.Seq)
+		p.iqI.Wake(d.Seq)
 	case pipeline.QFP:
-		p.iqF.Wake(e.Seq)
+		p.iqF.Wake(d.Seq)
 	case pipeline.QSLIQ:
-		p.sliq.Wake(e.Seq)
+		p.sliq.Wake(d.Seq)
 	}
 }
 
+//dkip:hotpath
 func (p *Processor) issueStage() {
 	// Rotate priority so no queue starves under issue-width pressure. The
 	// rotated view and block flags live on the Processor: this runs every
 	// cycle and must not allocate.
 	n := len(p.iqAll)
-	rot := int(p.cycle) % n
+	rot := int(p.Cycle) % n
 	for i := range p.iqAll {
 		j := i + rot
 		if j >= n {
@@ -314,48 +217,8 @@ func (p *Processor) issueStage() {
 		p.iqRot[i] = p.iqAll[j]
 		p.iqBlocked[i] = false
 	}
-	queues := p.iqRot
-
-	issued := 0
-	portsUsed := 0
-	blocked := p.iqBlocked
-	for issued < p.cfg.IssueWidth {
-		progress := false
-		for qi, q := range queues {
-			if blocked[qi] || issued >= p.cfg.IssueWidth {
-				continue
-			}
-			seq, ok := q.Pop()
-			if !ok {
-				blocked[qi] = true
-				continue
-			}
-			e := p.win.Get(seq)
-			if e.In.Op == isa.Load && portsUsed >= p.cfg.MemPorts {
-				q.Unpop(seq)
-				blocked[qi] = true
-				continue
-			}
-			if e.In.Op == isa.Load && p.cfg.MSHRs > 0 && p.missCount >= p.cfg.MSHRs &&
-				p.hier.ProbeLongLatency(e.In.Addr) {
-				// All miss-status registers busy: the load waits.
-				q.Unpop(seq)
-				blocked[qi] = true
-				continue
-			}
-			if !p.fus.TryIssue(e.In.Op) {
-				q.Unpop(seq)
-				blocked[qi] = true
-				continue
-			}
-			p.execute(e, &portsUsed)
-			issued++
-			progress = true
-		}
-		if !progress {
-			break
-		}
-	}
+	p.PortsUsed = 0
+	p.IssueSelect(p.iqRot, p.iqBlocked, p.cfg.IssueWidth, p.fus)
 	// SLIQ migration happens after issue so newly ready instructions had
 	// their chance to leave the primary queues first.
 	if p.sliq != nil {
@@ -363,45 +226,29 @@ func (p *Processor) issueStage() {
 	}
 }
 
-// execute starts execution of e at the current cycle.
-func (p *Processor) execute(e *pipeline.DynInst, portsUsed *int) {
-	e.Issued = true
-	e.IssueCycle = p.cycle
-	if p.collect {
-		p.stats.IssueLat.Observe(p.cycle - e.RenameCycle)
+// IssueExtraLatency charges the slow-lane re-dispatch delay: woken
+// slow-lane instructions re-dispatch through the pipeline front before
+// executing.
+//
+//dkip:hotpath
+func (p *Processor) IssueExtraLatency(d *pipeline.DynInst) int64 {
+	if d.Queue == pipeline.QSLIQ {
+		return int64(p.cfg.SLIQReinsertDelay)
 	}
-	lat := int64(e.In.Op.Latency())
-	if e.In.Op == isa.Load {
-		l, lvl := p.hier.Access(e.In.Addr)
-		e.MemLevel = lvl
-		e.MemLatency = l
-		if p.collect {
-			p.stats.LoadLevel[lvl]++
-		}
-		if lvl == mem.LevelMemory {
-			p.missCount++
-		}
-		lat = int64(l)
-		*portsUsed++
-	}
-	if e.Queue == pipeline.QSLIQ {
-		// Woken slow-lane instructions re-dispatch through the pipeline
-		// front before executing.
-		lat += int64(p.cfg.SLIQReinsertDelay)
-	}
-	p.ev.Schedule(p.cycle+lat, e.Seq)
-	p.didWork = true
+	return 0
 }
 
 // migrateToSLIQ moves instructions that have waited SLIQTimer cycles in a
 // primary queue without becoming ready into the Slow Lane Instruction Queue,
 // releasing their pseudo-ROB entries (multicheckpointing covers recovery).
+//
+//dkip:hotpath
 func (p *Processor) migrateToSLIQ() {
-	deadline := p.cycle - int64(p.cfg.SLIQTimer)
+	deadline := p.Cycle - int64(p.cfg.SLIQTimer)
 	for _, age := range [2]*pipeline.Ring64{&p.ageI, &p.ageF} {
 		for age.Len() > 0 {
 			seq := age.Front()
-			e := p.win.Get(seq)
+			e := p.Win.Get(seq)
 			if e.Seq != seq || e.Issued {
 				age.PopFront()
 				continue
@@ -427,149 +274,96 @@ func (p *Processor) migrateToSLIQ() {
 
 			p.robCount--
 			age.PopFront()
-			p.didWork = true
+			p.DidWork = true
 		}
 	}
 }
 
-func (p *Processor) renameStage() {
-	for n := 0; n < p.cfg.RenameWidth; n++ {
-		if p.fqLen == 0 {
-			return
-		}
-		fe := &p.fq[p.fqHead]
-		if fe.ready > p.cycle {
-			return
-		}
-		if p.robCount >= p.cfg.ROBSize {
-			if p.collect {
-				p.stats.StallROBFull++
-			}
-			return
-		}
-		if int(p.renameSeq-p.commitSeq) >= p.win.Capacity()-8 {
-			// Out-of-order commit mode: the in-order retirement
-			// counter has fallen too far behind to recycle slots.
-			if p.collect {
-				p.stats.StallROBFull++
-			}
-			return
-		}
-		if p.cfg.SLIQSize > 0 {
-			// The virtual window is bounded by the checkpoint and
-			// physical-register budget: at most pseudo-ROB + SLIQ
-			// instructions may separate the oldest incomplete
-			// instruction from rename.
-			for p.horizon < p.renameSeq {
-				e := p.win.Get(p.horizon)
-				if e.Seq == p.horizon && !e.Done {
-					break
-				}
-				p.horizon++
-			}
-			if int(p.renameSeq-p.horizon) >= p.cfg.ROBSize+p.cfg.SLIQSize {
-				if p.collect {
-					p.stats.StallROBFull++
-				}
-				return
-			}
-		}
-		fp := fe.in.Op.IsFP() || (fe.in.Op == isa.Load && fe.in.Dest.IsFP())
-		q := p.iqI
-		if fp {
-			q = p.iqF
-		}
-		if q.Full() {
-			if p.collect {
-				p.stats.StallIQFull++
-			}
-			return
-		}
-		if fe.in.Op.IsMem() && p.lsqCount >= p.cfg.LSQSize {
-			if p.collect {
-				p.stats.StallLSQFull++
-			}
-			return
-		}
-
-		seq := p.renameSeq
-		p.renameSeq++
-		e := p.win.Alloc(seq, fe.in, int(p.renameSeq-p.commitSeq))
-		e.FetchCycle = fe.fetchCycle
-		e.RenameCycle = p.cycle
-		e.Mispred = fe.mispred
-
-		pending := 0
-		prods := [2]uint64{pipeline.NoProducer, pipeline.NoProducer}
-		for i, src := range [2]isa.Reg{fe.in.Src1, fe.in.Src2} {
-			if prod, busy := p.sb.Lookup(src); busy {
-				pe := p.win.Get(prod)
-				//dkip:alloc-ok consumer lists are pre-capped by Window.Alloc; growth is warmup-only
-				pe.Consumers = append(pe.Consumers, seq)
-				prods[i] = prod
-				pending++
-			}
-		}
-		e.Pending = int8(pending)
-		e.Prod1, e.Prod2 = prods[0], prods[1]
-		if e.In.Dest.Valid() {
-			p.sb.Define(e.In.Dest, seq)
-		}
-		q.Insert(seq, pending == 0)
-		if p.sliq != nil {
-			if q.ID() == pipeline.QInt {
-				p.ageI.PushBack(seq)
-			} else {
-				p.ageF.PushBack(seq)
-			}
-		}
-		p.robCount++
-		if fe.in.Op.IsMem() {
-			p.lsqCount++
-		}
-
-		p.fqHead++
-		if p.fqHead == len(p.fq) {
-			p.fqHead = 0
-		}
-		p.fqLen--
-		p.didWork = true
+// RenameAdmit enforces the ROB and virtual-window occupancy bounds.
+//
+//dkip:hotpath
+func (p *Processor) RenameAdmit() bool {
+	if p.robCount >= p.cfg.ROBSize {
+		return false
 	}
+	if int(p.RenameSeq-p.commitSeq) >= p.Win.Capacity()-8 {
+		// Out-of-order commit mode: the in-order retirement counter has
+		// fallen too far behind to recycle slots.
+		return false
+	}
+	if p.cfg.SLIQSize > 0 {
+		// The virtual window is bounded by the checkpoint and
+		// physical-register budget: at most pseudo-ROB + SLIQ
+		// instructions may separate the oldest incomplete instruction
+		// from rename.
+		for p.horizon < p.RenameSeq {
+			e := p.Win.Get(p.horizon)
+			if e.Seq == p.horizon && !e.Done {
+				break
+			}
+			p.horizon++
+		}
+		if int(p.RenameSeq-p.horizon) >= p.cfg.ROBSize+p.cfg.SLIQSize {
+			return false
+		}
+	}
+	return true
 }
 
-func (p *Processor) fetchStage(g trace.Generator) {
-	if p.fetchStalled || p.cycle < p.resumeCycle {
-		return
+// RenameQueue routes an instruction to its cluster's issue queue.
+//
+//dkip:hotpath
+func (p *Processor) RenameQueue(fp bool) *pipeline.IssueQueue {
+	if fp {
+		return p.iqF
 	}
-	for n := 0; n < p.cfg.FetchWidth; n++ {
-		if p.fqLen == len(p.fq) {
-			return
-		}
-		in := p.pullNext(g)
-		if p.collect {
-			p.stats.Fetched++
-		}
-		fe := fetchEntry{in: in, fetchCycle: p.cycle, ready: p.cycle + int64(p.cfg.FrontEndDepth)}
-		if in.Op == isa.Branch {
-			pred := p.bp.Predict(in.PC)
-			p.bp.Update(in.PC, in.Taken)
-			fe.mispred = pred != in.Taken
-		}
-		tail := p.fqHead + p.fqLen
-		if tail >= len(p.fq) {
-			tail -= len(p.fq)
-		}
-		p.fq[tail] = fe
-		p.fqLen++
-		p.didWork = true
-		if fe.mispred {
-			// Wrong-path fetch begins; no correct-path instructions
-			// arrive until the branch resolves.
-			p.fetchStalled = true
-			return
-		}
-		if in.Op == isa.Branch && in.Taken {
-			return // a taken branch ends the fetch group
+	return p.iqI
+}
+
+// AllocHint bounds the window by the rename/commit spread (RenameSeq has
+// already been advanced past seq).
+//
+//dkip:hotpath
+func (p *Processor) AllocHint(seq uint64) int {
+	return int(p.RenameSeq - p.commitSeq)
+}
+
+// OnRename records ROB occupancy and feeds the SLIQ age rings.
+//
+//dkip:hotpath
+func (p *Processor) OnRename(d *pipeline.DynInst, q *pipeline.IssueQueue) {
+	if p.sliq != nil {
+		if q.ID() == pipeline.QInt {
+			p.ageI.PushBack(d.Seq)
+		} else {
+			p.ageF.PushBack(d.Seq)
 		}
 	}
+	p.robCount++
+}
+
+// FetchNext consumes the runahead replay buffer before the generator.
+//
+//dkip:hotpath
+func (p *Processor) FetchNext(g trace.Generator) isa.Instr {
+	return p.pullNext(g)
+}
+
+// OnFetchBranch reports no confidence estimate: this family has none.
+//
+//dkip:hotpath
+func (p *Processor) OnFetchBranch(in isa.Instr, mispred bool) bool { return false }
+
+// OnBeginMeasure has no model-owned high-water statistics to reset.
+//
+//dkip:hotpath
+func (p *Processor) OnBeginMeasure() {}
+
+// FinishStats has no model-owned statistics to copy.
+func (p *Processor) FinishStats(st *pipeline.Stats) {}
+
+// BudgetMessage builds the cycle-budget panic text.
+func (p *Processor) BudgetMessage(bench string, target uint64) string {
+	return fmt.Sprintf("ooo: %s on %s: exceeded cycle budget (deadlock or pathological config): committed %d of %d",
+		p.cfg.Name, bench, p.Total, target)
 }

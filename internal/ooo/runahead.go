@@ -58,10 +58,10 @@ func (p *Processor) pullNext(g trace.Generator) isa.Instr {
 // prefetching every regular load, and leaves the scanned instructions in the
 // replay buffer for ordinary execution afterwards.
 func (p *Processor) maybeRunahead(g trace.Generator) {
-	if p.cfg.RunaheadDepth <= 0 || p.commitSeq >= p.renameSeq {
+	if p.cfg.RunaheadDepth <= 0 || p.commitSeq >= p.RenameSeq {
 		return
 	}
-	head := p.win.Get(p.commitSeq)
+	head := p.Win.Get(p.commitSeq)
 	if head.Done || head.In.Op != isa.Load || !head.Issued {
 		return
 	}
@@ -98,7 +98,7 @@ func (p *Processor) runaheadPrefetch(in isa.Instr) {
 	if in.Op != isa.Load || in.ChainLoad {
 		return
 	}
-	p.hier.Access(in.Addr)
+	p.Hier.Access(in.Addr)
 	p.ra.prefetches++
 }
 

@@ -25,27 +25,30 @@ package serve
 
 import (
 	"fmt"
+	"strings"
 
 	"dkip/internal/core"
+	"dkip/internal/inorder"
 	"dkip/internal/ooo"
 	"dkip/internal/sample"
 	"dkip/internal/sim"
 )
 
 // Spec is the wire form of a sim.RunSpec: the engine selector as a string
-// and exactly one of the two configuration payloads (an absent payload means
+// and at most one configuration payload matching it (an absent payload means
 // the engine's zero configuration, i.e. the paper defaults). Function-typed
 // configuration fields never travel — they are excluded from the JSON
 // encoding just as the content hash skips them — so only Portable specs can
 // be encoded, and every decoded spec is memoizable.
 type Spec struct {
-	Arch    string       `json:"arch"`
-	Bench   string       `json:"bench"`
-	Warmup  uint64       `json:"warmup"`
-	Measure uint64       `json:"measure"`
-	Tag     string       `json:"tag,omitempty"`
-	OOO     *ooo.Config  `json:"ooo,omitempty"`
-	DKIP    *core.Config `json:"dkip,omitempty"`
+	Arch    string          `json:"arch"`
+	Bench   string          `json:"bench"`
+	Warmup  uint64          `json:"warmup"`
+	Measure uint64          `json:"measure"`
+	Tag     string          `json:"tag,omitempty"`
+	OOO     *ooo.Config     `json:"ooo,omitempty"`
+	DKIP    *core.Config    `json:"dkip,omitempty"`
+	Inorder *inorder.Config `json:"inorder,omitempty"`
 	// Sample carries the sampling plan when the run is sampled; absent for
 	// full runs, so pre-sampling clients and daemons interoperate.
 	Sample *sample.Plan `json:"sample,omitempty"`
@@ -70,6 +73,9 @@ func EncodeSpec(s sim.RunSpec) (Spec, error) {
 	case sim.ArchDKIP:
 		cfg := s.DKIP
 		w.DKIP = &cfg
+	case sim.ArchInorder:
+		cfg := s.Inorder
+		w.Inorder = &cfg
 	default:
 		return Spec{}, fmt.Errorf("serve: unknown architecture %q", s.Arch)
 	}
@@ -88,23 +94,31 @@ func (w Spec) RunSpec() (sim.RunSpec, error) {
 	switch w.Arch {
 	case sim.ArchOOO.String():
 		s.Arch = sim.ArchOOO
-		if w.DKIP != nil {
-			return sim.RunSpec{}, fmt.Errorf("serve: ooo spec carries a dkip payload")
+		if w.DKIP != nil || w.Inorder != nil {
+			return sim.RunSpec{}, fmt.Errorf("serve: ooo spec carries a foreign config payload")
 		}
 		if w.OOO != nil {
 			s.OOO = *w.OOO
 		}
 	case sim.ArchDKIP.String():
 		s.Arch = sim.ArchDKIP
-		if w.OOO != nil {
-			return sim.RunSpec{}, fmt.Errorf("serve: dkip spec carries an ooo payload")
+		if w.OOO != nil || w.Inorder != nil {
+			return sim.RunSpec{}, fmt.Errorf("serve: dkip spec carries a foreign config payload")
 		}
 		if w.DKIP != nil {
 			s.DKIP = *w.DKIP
 		}
+	case sim.ArchInorder.String():
+		s.Arch = sim.ArchInorder
+		if w.OOO != nil || w.DKIP != nil {
+			return sim.RunSpec{}, fmt.Errorf("serve: inorder spec carries a foreign config payload")
+		}
+		if w.Inorder != nil {
+			s.Inorder = *w.Inorder
+		}
 	default:
-		return sim.RunSpec{}, fmt.Errorf("serve: unknown architecture %q (want %q or %q)",
-			w.Arch, sim.ArchOOO, sim.ArchDKIP)
+		return sim.RunSpec{}, fmt.Errorf("serve: unknown architecture %q (registered: %s)",
+			w.Arch, strings.Join(sim.ArchNames(), ", "))
 	}
 	return s, nil
 }

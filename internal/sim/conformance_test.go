@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"dkip/internal/sample"
+	"dkip/internal/trace"
+	"dkip/internal/workload"
+)
+
+// Every registered engine must satisfy the same behavioral contract behind
+// sample.Engine — one shared table over the registry, so a fourth
+// architecture inherits the conformance gate by being registered:
+//
+//   - functional warming to a stream position, then a detailed run, is
+//     deterministic (two identically-prepared engines agree exactly);
+//   - a checkpoint captured at that position and restored into a fresh
+//     engine reproduces the warmed engine's detailed run bit-for-bit (the
+//     identity checkpointed sampling and sweep resume are built on);
+//   - a checkpoint from a machine with a different predictor is refused.
+func TestEngineConformance(t *testing.T) {
+	presetByArch := map[Arch]string{
+		ArchOOO:     "r10-64",
+		ArchDKIP:    "dkip",
+		ArchInorder: "inorder",
+	}
+	const bench = "swim"
+	const pos, warmup, measure = 6_000, 1_000, 8_000
+
+	for _, a := range Archs() {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			preset, ok := presetByArch[a]
+			if !ok {
+				t.Fatalf("no conformance preset for registered arch %q — extend the table", a)
+			}
+			spec := MustPresetSpec(preset, bench, warmup, measure)
+
+			// warmed returns a fresh engine of this machine functionally
+			// fast-forwarded to stream position pos, with its generator
+			// left there.
+			warmed := func() (sample.Engine, trace.Generator) {
+				e := spec.NewEngine()
+				g := workload.MustNew(bench)
+				e.Hierarchy().Warm(g.WarmRanges())
+				e.WarmFunctional(g, pos)
+				return e, g
+			}
+
+			// Determinism: two identically-prepared engines agree exactly.
+			e1, g1 := warmed()
+			ref := e1.Run(g1, warmup, measure)
+			e2, g2 := warmed()
+			again := e2.Run(g2, warmup, measure)
+			if !reflect.DeepEqual(ref, again) {
+				t.Fatalf("detailed run not deterministic:\nfirst: %s\nsecond: %s",
+					statsJSON(t, ref), statsJSON(t, again))
+			}
+
+			// Checkpoint/resume identity: snapshot a warmed donor at pos,
+			// restore into a fresh engine, position a fresh generator by
+			// replay, and the detailed run must reproduce the reference
+			// bit-for-bit.
+			donor, _ := warmed()
+			ck, err := donor.CaptureArch(bench, pos)
+			if err != nil {
+				t.Fatalf("CaptureArch: %v", err)
+			}
+			if ck.Pos != pos || ck.Bench != bench {
+				t.Fatalf("checkpoint identity = %s@%d, want %s@%d", ck.Bench, ck.Pos, bench, pos)
+			}
+			resumed := spec.NewEngine()
+			if err := resumed.RestoreArch(ck); err != nil {
+				t.Fatalf("RestoreArch: %v", err)
+			}
+			g3 := workload.MustNew(bench)
+			for i := uint64(0); i < pos; i++ {
+				g3.Next()
+			}
+			res := resumed.Run(g3, warmup, measure)
+			if !reflect.DeepEqual(ref, res) {
+				t.Fatalf("resume from checkpoint diverged from the warmed run:\nwarmed: %s\nresumed: %s",
+					statsJSON(t, ref), statsJSON(t, res))
+			}
+
+			// A checkpoint carrying a different predictor must be refused,
+			// not silently loaded into mismatched structures.
+			alien := *ck
+			alien.PredName = "no-such-predictor"
+			if err := spec.NewEngine().RestoreArch(&alien); err == nil {
+				t.Error("RestoreArch accepted a checkpoint with a mismatched predictor")
+			}
+		})
+	}
+}
+
+func statsJSON(t *testing.T, v interface{}) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -1,13 +1,15 @@
 // Package sim is the run-orchestration layer under every experiment, command
 // and benchmark in this repository.
 //
-// A simulation run is described by a RunSpec: which engine (the out-of-order
-// baseline family or the D-KIP), its full configuration, the workload, and
-// the warmup/measure scale. A RunSpec has a deterministic content hash
-// (Key), computed over the *normalized* configuration — presentation-only
-// fields (Name) are excluded and paper defaults are applied first — so two
-// specs describing the same machine on the same workload hash identically no
-// matter how they were spelled.
+// A simulation run is described by a RunSpec: which engine (by Arch — the
+// out-of-order baseline family, the D-KIP, or the in-order calibration
+// core), its full configuration, the workload, and the warmup/measure scale.
+// Engines are registered in an archDesc table (arch.go); nothing else in the
+// layer switches on concrete processor types. A RunSpec has a deterministic
+// content hash (Key), computed over the *normalized* configuration —
+// presentation-only fields (Name) are excluded and paper defaults are
+// applied first — so two specs describing the same machine on the same
+// workload hash identically no matter how they were spelled.
 //
 // The Runner executes specs on a bounded worker pool with singleflight-style
 // deduplication and an in-process memoizing cache keyed by that hash: the
@@ -25,6 +27,7 @@ import (
 
 	"dkip/internal/ckpt"
 	"dkip/internal/core"
+	"dkip/internal/inorder"
 	"dkip/internal/ooo"
 	"dkip/internal/pipeline"
 	"dkip/internal/sample"
@@ -43,27 +46,30 @@ const (
 	ArchOOO Arch = iota
 	// ArchDKIP is the Decoupled KILO-Instruction Processor (package core).
 	ArchDKIP
+	// ArchInorder is the dual-issue in-order C920-class core (package
+	// inorder), the SG2042 hardware-calibration target.
+	ArchInorder
 )
 
-// String names the engine.
+// String names the engine. Unregistered values render as "arch(N)", which
+// ParseArch round-trips.
 func (a Arch) String() string {
-	switch a {
-	case ArchOOO:
-		return "ooo"
-	case ArchDKIP:
-		return "dkip"
+	if d, ok := archByID[a]; ok {
+		return d.name
 	}
 	return fmt.Sprintf("arch(%d)", uint8(a))
 }
 
 // RunSpec is the canonical description of one simulation run. Exactly one of
-// OOO/DKIP is meaningful, selected by Arch.
+// OOO/DKIP/Inorder is meaningful, selected by Arch.
 type RunSpec struct {
 	Arch Arch
 	// OOO is the configuration when Arch == ArchOOO.
 	OOO ooo.Config
 	// DKIP is the configuration when Arch == ArchDKIP.
 	DKIP core.Config
+	// Inorder is the configuration when Arch == ArchInorder.
+	Inorder inorder.Config
 	// Bench names the workload (a registered synthetic SPEC2000 stand-in,
 	// see internal/workload).
 	Bench string
@@ -94,19 +100,15 @@ func DKIPSpec(bench string, cfg core.Config, warmup, measure uint64) RunSpec {
 	return RunSpec{Arch: ArchDKIP, DKIP: cfg, Bench: bench, Warmup: warmup, Measure: measure}
 }
 
+// InorderSpec builds a RunSpec for the in-order engine.
+func InorderSpec(bench string, cfg inorder.Config, warmup, measure uint64) RunSpec {
+	return RunSpec{Arch: ArchInorder, Inorder: cfg, Bench: bench, Warmup: warmup, Measure: measure}
+}
+
 // normalized applies configuration defaults so that equivalent specs encode
-// identically, and zeroes the engine config the spec does not use.
+// identically, and zeroes the engine configs the spec does not use.
 func (s RunSpec) normalized() RunSpec {
-	switch s.Arch {
-	case ArchDKIP:
-		s.DKIP = s.DKIP.WithDefaults()
-		s.DKIP.Mem = s.DKIP.Mem.WithDefaults()
-		s.OOO = ooo.Config{}
-	default:
-		s.OOO = s.OOO.WithDefaults()
-		s.OOO.Mem = s.OOO.Mem.WithDefaults()
-		s.DKIP = core.Config{}
-	}
+	desc(s.Arch).normalize(&s)
 	return s
 }
 
@@ -114,10 +116,7 @@ func (s RunSpec) normalized() RunSpec {
 // zero D-KIP config reports the paper's "DKIP-2048").
 func (s RunSpec) ConfigName() string {
 	n := s.normalized()
-	if s.Arch == ArchDKIP {
-		return n.DKIP.Name
-	}
-	return n.OOO.Name
+	return desc(s.Arch).configName(&n)
 }
 
 // Key returns the deterministic content hash identifying this run: engine,
@@ -135,55 +134,40 @@ func (s RunSpec) Key() string {
 	if p := s.SamplePlan(); p.Enabled() {
 		fmt.Fprintf(h, "sample=%d/%d/%d;", p.Intervals, p.Interval, p.Warmup)
 	}
-	if s.Arch == ArchDKIP {
-		hashConfig(h, n.DKIP)
-	} else {
-		hashConfig(h, n.OOO)
-	}
+	hashConfig(h, desc(s.Arch).config(&n))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // SamplePlan returns the spec's sampling plan with machine-aware defaults
 // resolved: the per-interval detailed warmup scales with the machine's
 // in-flight instruction capacity (ROB plus slow-lane queue for the
-// out-of-order family, the LLIB for the D-KIP) so that large-window
-// machines are never measured mid-fill, and the interval length targets a
-// 10× detailed-instruction reduction at the spec's scale. Key, Validate and
-// SimulateSampled all go through this completion, so the hash always
-// describes the plan that actually runs.
+// out-of-order family, the LLIB for the D-KIP, the scoreboarded window for
+// the in-order core) so that large-window machines are never measured
+// mid-fill, and the interval length targets a 10× detailed-instruction
+// reduction at the spec's scale. Key, Validate and SimulateSampled all go
+// through this completion, so the hash always describes the plan that
+// actually runs.
 func (s RunSpec) SamplePlan() sample.Plan {
 	if !s.Sample.Enabled() {
 		return sample.Plan{}
 	}
 	n := s.normalized()
-	window := uint64(n.OOO.ROBSize + n.OOO.SLIQSize)
-	if s.Arch == ArchDKIP {
-		window = uint64(n.DKIP.LLIBSize)
-		if r := uint64(n.DKIP.ROBSize); r > window {
-			window = r
-		}
-	}
-	return s.Sample.Complete(s.Warmup, s.Measure, window)
+	return s.Sample.Complete(s.Warmup, s.Measure, desc(s.Arch).window(&n))
 }
 
 // checkpointKey returns the content key of the architectural checkpoint at
 // stream position pos for this spec. The key hashes only what the
 // checkpointed state is a function of — engine family (the D-KIP carries a
-// confidence estimator the out-of-order cores lack), workload, memory
+// confidence estimator the other cores lack), workload, memory
 // configuration, predictor, tag, and position — never window or queue
 // geometry, so every sweep point over e.g. window sizes shares one
 // checkpoint set.
 func (s RunSpec) checkpointKey(pos uint64) string {
 	n := s.normalized()
+	d := desc(s.Arch)
 	h := sha256.New()
-	family, predName := "ooo", n.OOO.NewPredictor
-	var memCfg interface{} = n.OOO.Mem
-	if s.Arch == ArchDKIP {
-		family, predName = "core", n.DKIP.NewPredictor
-		memCfg = n.DKIP.Mem
-	}
-	fmt.Fprintf(h, "ckpt;family=%s;bench=%s;tag=%s;pred=%s;pos=%d;", family, s.Bench, s.Tag, predName().Name(), pos)
-	hashConfig(h, memCfg)
+	fmt.Fprintf(h, "ckpt;family=%s;bench=%s;tag=%s;pred=%s;pos=%d;", d.ckptFamily, s.Bench, s.Tag, d.predictor(&n)().Name(), pos)
+	hashConfig(h, d.memConfig(&n))
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
@@ -201,10 +185,7 @@ func (s RunSpec) Memoizable() bool {
 // serve layer refuses it rather than silently simulating a different
 // machine.
 func (s RunSpec) Portable() bool {
-	if s.Arch == ArchDKIP {
-		return !hasOpaqueFields(s.DKIP)
-	}
-	return !hasOpaqueFields(s.OOO)
+	return !hasOpaqueFields(desc(s.Arch).rawConfig(&s))
 }
 
 // Validate reports spec errors: unknown workload, empty scale, or an invalid
@@ -220,13 +201,7 @@ func (s RunSpec) Validate() error {
 		return fmt.Errorf("sim: %w", err)
 	}
 	n := s.normalized()
-	var err error
-	if s.Arch == ArchDKIP {
-		err = n.DKIP.Validate()
-	} else {
-		err = n.OOO.Validate()
-	}
-	if err != nil {
+	if err := desc(s.Arch).validate(&n); err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
 	return nil
@@ -237,6 +212,12 @@ func (s RunSpec) Label() string {
 	return s.ConfigName() + "/" + s.Bench
 }
 
+// NewEngine constructs the spec's machine behind the shared engine
+// interface: cold caches, untrained predictor, ready to Run.
+func (s RunSpec) NewEngine() sample.Engine {
+	return desc(s.Arch).newEngine(&s)
+}
+
 // Simulate builds the spec's processor and runs it over the given generator,
 // warming the hierarchy with warm first (pass nil to skip). It is the
 // low-level, uncached entry point: the Runner uses it with the spec's named
@@ -245,14 +226,7 @@ func (s RunSpec) Label() string {
 // here — sampled runs need a restartable stream and go through
 // SimulateSampled.
 func Simulate(s RunSpec, g trace.Generator, warm [][2]uint64) *pipeline.Stats {
-	if s.Arch == ArchDKIP {
-		p := core.New(s.DKIP)
-		if warm != nil {
-			p.Hierarchy().Warm(warm)
-		}
-		return p.Run(g, s.Warmup, s.Measure)
-	}
-	p := ooo.New(s.OOO)
+	p := s.NewEngine()
 	if warm != nil {
 		p.Hierarchy().Warm(warm)
 	}
@@ -283,15 +257,9 @@ func SimulateSampled(s RunSpec, store *Store) (*pipeline.Stats, *sample.Summary,
 		}
 		return gen
 	}
-	newEngine := func() sample.Engine {
-		if s.Arch == ArchDKIP {
-			return core.New(s.DKIP)
-		}
-		return ooo.New(s.OOO)
-	}
 	cfg := sample.Config{
 		Bench:      s.Bench,
-		NewEngine:  newEngine,
+		NewEngine:  s.NewEngine,
 		NewGen:     newGen,
 		WarmRanges: g.WarmRanges(),
 		Warmup:     s.Warmup,
